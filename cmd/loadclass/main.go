@@ -1,0 +1,92 @@
+// Command loadclass classifies the global loads of PTX-subset kernels as
+// deterministic or non-deterministic using the paper's backward dataflow
+// analysis. It accepts either a source file or the name of one of the
+// built-in Table I workloads.
+//
+// Usage:
+//
+//	loadclass -file kernel.ptx
+//	loadclass -workload bfs
+//	loadclass -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"critload/internal/dataflow"
+	"critload/internal/ptx"
+	"critload/internal/report"
+	"critload/internal/workloads"
+)
+
+func main() {
+	file := flag.String("file", "", "PTX-subset source file to classify")
+	workload := flag.String("workload", "", "built-in workload whose kernels to classify")
+	list := flag.Bool("list", false, "list built-in workloads")
+	verbose := flag.Bool("v", false, "print address roots for every load")
+	flag.Parse()
+
+	if err := run(*file, *workload, *list, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "loadclass:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, workload string, list, verbose bool) error {
+	switch {
+	case list:
+		t := report.New("Built-in workloads", "name", "category", "description")
+		for _, w := range workloads.All() {
+			t.Add(w.Name, w.Category, w.Description)
+		}
+		fmt.Print(t)
+		return nil
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		prog, err := ptx.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		return classifyProgram(prog, verbose)
+	case workload != "":
+		w, ok := workloads.Get(workload)
+		if !ok {
+			return fmt.Errorf("unknown workload %q (try -list)", workload)
+		}
+		inst, err := w.Setup(workloads.Params{})
+		if err != nil {
+			return err
+		}
+		return classifyProgram(inst.Prog, verbose)
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -file, -workload or -list is required")
+	}
+}
+
+func classifyProgram(prog *ptx.Program, verbose bool) error {
+	for _, k := range prog.Kernels {
+		res := dataflow.Classify(k)
+		det, nondet := res.Counts()
+		fmt.Printf("kernel %s: %d global loads (%d deterministic, %d non-deterministic)\n",
+			k.Name, len(res.Loads), det, nondet)
+		for _, l := range res.Loads {
+			fmt.Printf("  PC 0x%03x  %-17s  %s\n", l.PC, l.Class, k.Insts[l.InstIndex])
+			if verbose {
+				for _, r := range l.Roots {
+					if r.Name != "" {
+						fmt.Printf("      root: %s (%s)\n", r.Kind, r.Name)
+					} else {
+						fmt.Printf("      root: %s\n", r.Kind)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

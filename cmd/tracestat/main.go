@@ -1,0 +1,186 @@
+// Command tracestat summarizes a per-request CSV trace produced by
+// `gpgpusim -trace`: per-PC request counts and latencies (the offline view
+// behind Figures 6 and 7), per-category aggregates, and the service-level
+// mix.
+//
+// Usage:
+//
+//	gpgpusim -workload bfs -trace bfs.csv
+//	tracestat bfs.csv
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"critload/internal/report"
+)
+
+type row struct {
+	kernel   string
+	pc       uint32
+	nonDet   bool
+	serviced string
+	latency  int64
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat <trace.csv>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	rows, err := parse(f)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+
+	perPC(rows)
+	perCategory(rows)
+	serviceMix(rows)
+	return nil
+}
+
+// parse reads the CSV emitted by trace.Buffer.WriteCSV.
+func parse(f *os.File) ([]row, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rows []row
+	var cols map[string]int
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		fields := strings.Split(sc.Text(), ",")
+		if lineNo == 1 {
+			cols = map[string]int{}
+			for i, h := range fields {
+				cols[h] = i
+			}
+			for _, need := range []string{"kernel", "pc", "nondet", "serviced", "latency"} {
+				if _, ok := cols[need]; !ok {
+					return nil, fmt.Errorf("missing column %q", need)
+				}
+			}
+			continue
+		}
+		if len(fields) < len(cols) {
+			return nil, fmt.Errorf("line %d: %d fields, want %d", lineNo, len(fields), len(cols))
+		}
+		pc, err := strconv.ParseUint(strings.TrimPrefix(fields[cols["pc"]], "0x"), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad pc: %v", lineNo, err)
+		}
+		lat, err := strconv.ParseInt(fields[cols["latency"]], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad latency: %v", lineNo, err)
+		}
+		rows = append(rows, row{
+			kernel:   fields[cols["kernel"]],
+			pc:       uint32(pc),
+			nonDet:   fields[cols["nondet"]] == "1",
+			serviced: fields[cols["serviced"]],
+			latency:  lat,
+		})
+	}
+	return rows, sc.Err()
+}
+
+func perPC(rows []row) {
+	type key struct {
+		kernel string
+		pc     uint32
+	}
+	type agg struct {
+		nonDet   bool
+		n        int
+		totalLat int64
+		maxLat   int64
+	}
+	m := map[key]*agg{}
+	for _, r := range rows {
+		k := key{r.kernel, r.pc}
+		a := m[k]
+		if a == nil {
+			a = &agg{nonDet: r.nonDet}
+			m[k] = a
+		}
+		a.n++
+		a.totalLat += r.latency
+		if r.latency > a.maxLat {
+			a.maxLat = r.latency
+		}
+	}
+	keys := make([]key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return m[keys[i]].n > m[keys[j]].n })
+
+	t := report.New("per-PC request profile (by request count)",
+		"kernel", "PC", "class", "requests", "mean latency", "max latency")
+	for _, k := range keys {
+		a := m[k]
+		cls := "D"
+		if a.nonDet {
+			cls = "N"
+		}
+		t.Add(k.kernel, fmt.Sprintf("0x%03x", k.pc), cls, a.n,
+			float64(a.totalLat)/float64(a.n), a.maxLat)
+	}
+	fmt.Print(t)
+}
+
+func perCategory(rows []row) {
+	var n [2]int
+	var lat [2]int64
+	for _, r := range rows {
+		i := 0
+		if r.nonDet {
+			i = 1
+		}
+		n[i]++
+		lat[i] += r.latency
+	}
+	t := report.New("per-category aggregate", "class", "requests", "mean latency")
+	for i, cls := range []string{"deterministic", "non-deterministic"} {
+		if n[i] == 0 {
+			continue
+		}
+		t.Add(cls, n[i], float64(lat[i])/float64(n[i]))
+	}
+	fmt.Print(t)
+}
+
+func serviceMix(rows []row) {
+	mix := map[string]int{}
+	for _, r := range rows {
+		mix[r.serviced]++
+	}
+	levels := make([]string, 0, len(mix))
+	for l := range mix {
+		levels = append(levels, l)
+	}
+	sort.Strings(levels)
+	t := report.New("service level mix", "level", "requests", "fraction")
+	for _, l := range levels {
+		t.Add(l, mix[l], report.Pct(float64(mix[l])/float64(len(rows))))
+	}
+	fmt.Print(t)
+}

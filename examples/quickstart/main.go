@@ -1,0 +1,80 @@
+// Quickstart: write a small kernel in the PTX-subset assembly, classify its
+// loads with the paper's backward dataflow analysis, run it on the timing
+// simulator, and read back both the computed results and the per-category
+// memory statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"critload"
+)
+
+// gatherSrc reads idx[i] with a deterministic (thread-indexed) load and
+// b[idx[i]] with a non-deterministic (data-dependent) one — the minimal
+// example of the paper's two load classes.
+const gatherSrc = `
+.kernel gather
+.param .u32 idx
+.param .u32 b
+.param .u32 out
+    mov.u32      %r0, %ctaid.x;
+    mov.u32      %r1, %ntid.x;
+    mad.u32      %r2, %r0, %r1, %tid.x;   // i
+    shl.u32      %r3, %r2, 2;
+    ld.param.u32 %r4, [idx];
+    add.u32      %r5, %r4, %r3;
+    ld.global.u32 %r6, [%r5];             // idx[i]   — deterministic
+    ld.param.u32 %r7, [b];
+    shl.u32      %r8, %r6, 2;
+    add.u32      %r9, %r7, %r8;
+    ld.global.u32 %r10, [%r9];            // b[idx[i]] — non-deterministic
+    ld.param.u32 %r11, [out];
+    add.u32      %r12, %r11, %r3;
+    st.global.u32 [%r12], %r10;
+    exit;
+`
+
+func main() {
+	// 1. Classify the kernel's loads.
+	res, err := critload.ClassifyKernel(gatherSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("load classification (backward dataflow analysis):")
+	for _, l := range res.Loads {
+		fmt.Printf("  PC 0x%03x: %s\n", l.PC, l.Class)
+	}
+
+	// 2. Run it on the cycle-level simulator (Tesla C2050 configuration).
+	const n = 4096
+	var outBase uint32
+	memory, col, err := critload.Simulate(gatherSrc, n/256, 256, func(m *critload.Memory) []uint32 {
+		idx := make([]uint32, n)
+		b := make([]uint32, n)
+		for i := range idx {
+			idx[i] = uint32((i * 769) % n) // scattered gather pattern
+			b[i] = uint32(3 * i)
+		}
+		idxB := m.AllocU32s(idx)
+		bB := m.AllocU32s(b)
+		outBase = m.Alloc(4 * n)
+		return []uint32{idxB, bB, outBase}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The values are functionally exact...
+	fmt.Printf("\nout[0..3] = %v (values computed by the emulator)\n",
+		memory.ReadU32s(outBase, 4))
+
+	// 4. ...and the statistics show the paper's disparity: the scattered
+	// non-deterministic gather generates far more memory requests per warp
+	// than the unit-stride deterministic load.
+	fmt.Printf("\nrequests per warp:  deterministic %.2f   non-deterministic %.2f\n",
+		col.RequestsPerWarp(0), col.RequestsPerWarp(1))
+	fmt.Printf("mean turnaround:    deterministic %.0f cyc  non-deterministic %.0f cyc\n",
+		col.Turnaround[0].MeanTotal(), col.Turnaround[1].MeanTotal())
+}

@@ -1,0 +1,3 @@
+module critload
+
+go 1.22

@@ -1,0 +1,259 @@
+// Package cache models the GPU's set-associative caches with the exact
+// access semantics the paper measures (Figure 3): a lookup either hits, hits
+// a reserved (in-flight) line, misses after reserving a tag + MSHR entry +
+// interconnect slot, or fails one of the three reservations and must retry.
+package cache
+
+import (
+	"fmt"
+
+	"critload/internal/memreq"
+)
+
+// Config sizes one cache instance.
+type Config struct {
+	Bytes       int // total capacity
+	LineBytes   int // line size (128 in the paper's configuration)
+	Ways        int // associativity
+	MSHREntries int // distinct outstanding miss blocks
+	MSHRTargets int // merged requests per MSHR entry
+	HitLatency  int64
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Bytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	lines := c.Bytes / c.LineBytes
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	if c.MSHREntries <= 0 || c.MSHRTargets <= 0 {
+		return fmt.Errorf("cache: non-positive MSHR config %+v", c)
+	}
+	return nil
+}
+
+// Outcome is the result of one cache access attempt.
+type Outcome uint8
+
+// Access outcomes, matching the categories of Figure 3.
+const (
+	Hit Outcome = iota
+	HitReserved
+	Miss
+	RsrvFailTag  // no evictable way: all candidate lines are in flight
+	RsrvFailMSHR // MSHR entries exhausted, or merge-target list full
+	RsrvFailICNT // downstream injection (interconnect / DRAM queue) refused
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{
+	Hit: "hit", HitReserved: "hit-reserved", Miss: "miss",
+	RsrvFailTag: "rsrv-fail-tag", RsrvFailMSHR: "rsrv-fail-mshr",
+	RsrvFailICNT: "rsrv-fail-icnt",
+}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Accepted reports whether the access was taken by the cache (no retry
+// needed).
+func (o Outcome) Accepted() bool { return o == Hit || o == HitReserved || o == Miss }
+
+// IsReservationFail reports whether the outcome is one of the three
+// reservation failures.
+func (o Outcome) IsReservationFail() bool {
+	return o == RsrvFailTag || o == RsrvFailMSHR || o == RsrvFailICNT
+}
+
+type lineState uint8
+
+const (
+	invalid lineState = iota
+	valid
+	reserved // tag allocated, data in flight
+)
+
+type line struct {
+	tag     uint32 // block address
+	state   lineState
+	lastUse int64
+}
+
+type mshrEntry struct {
+	targets []*memreq.Request
+}
+
+// Cache is one cache instance (used for both L1D and L2 slices).
+type Cache struct {
+	cfg     Config
+	numSets int
+	sets    [][]line
+	mshr    map[uint32]*mshrEntry
+
+	// Aggregate statistics (monotonic counters).
+	Accesses  [NumOutcomes]uint64
+	FillCount uint64
+}
+
+// New builds a cache; the configuration must be valid.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.Bytes / cfg.LineBytes / cfg.Ways
+	c := &Cache{
+		cfg:     cfg,
+		numSets: numSets,
+		sets:    make([][]line, numSets),
+		mshr:    make(map[uint32]*mshrEntry, cfg.MSHREntries),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew builds a cache or panics; for static configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// HitLatency returns the configured hit latency.
+func (c *Cache) HitLatency() int64 { return c.cfg.HitLatency }
+
+func (c *Cache) setIndex(block uint32) int {
+	return int(block/uint32(c.cfg.LineBytes)) % c.numSets
+}
+
+// Access attempts one (load-class) request against the cache. For misses,
+// tryInject is called after tag and MSHR reservations succeed; it must
+// atomically claim the downstream slot and return whether it did. On any
+// reservation failure the cache state is unchanged and the caller must retry
+// in a later cycle.
+func (c *Cache) Access(r *memreq.Request, now int64, tryInject func() bool) Outcome {
+	if r.Block%uint32(c.cfg.LineBytes) != 0 {
+		panic(fmt.Sprintf("cache: unaligned block address %#x", r.Block))
+	}
+	set := c.sets[c.setIndex(r.Block)]
+
+	// Tag probe.
+	for i := range set {
+		ln := &set[i]
+		if ln.state == invalid || ln.tag != r.Block {
+			continue
+		}
+		if ln.state == valid {
+			ln.lastUse = now
+			c.Accesses[Hit]++
+			return Hit
+		}
+		// Line is reserved: merge into the MSHR entry if space remains.
+		e := c.mshr[r.Block]
+		if e == nil {
+			// A reserved line must have an MSHR entry; a missing one is a
+			// simulator bug worth failing loudly on.
+			panic(fmt.Sprintf("cache: reserved line %#x without MSHR entry", r.Block))
+		}
+		if len(e.targets) >= c.cfg.MSHRTargets {
+			c.Accesses[RsrvFailMSHR]++
+			return RsrvFailMSHR
+		}
+		e.targets = append(e.targets, r)
+		c.Accesses[HitReserved]++
+		return HitReserved
+	}
+
+	// Miss: find a victim way (invalid first, else LRU among valid lines;
+	// reserved lines cannot be evicted — that is the tag reservation fail).
+	victim := -1
+	var oldest int64 = 1<<63 - 1
+	for i := range set {
+		switch set[i].state {
+		case invalid:
+			victim = i
+			oldest = -1 // settled
+		case valid:
+			if set[i].lastUse < oldest {
+				victim = i
+				oldest = set[i].lastUse
+			}
+		}
+	}
+	if victim < 0 {
+		c.Accesses[RsrvFailTag]++
+		return RsrvFailTag
+	}
+	if len(c.mshr) >= c.cfg.MSHREntries {
+		c.Accesses[RsrvFailMSHR]++
+		return RsrvFailMSHR
+	}
+	if tryInject != nil && !tryInject() {
+		c.Accesses[RsrvFailICNT]++
+		return RsrvFailICNT
+	}
+	set[victim] = line{tag: r.Block, state: reserved, lastUse: now}
+	c.mshr[r.Block] = &mshrEntry{targets: []*memreq.Request{r}}
+	c.Accesses[Miss]++
+	return Miss
+}
+
+// Fill completes an outstanding miss for block: the reserved line becomes
+// valid and all merged requests are returned (primary miss first). Filling a
+// block with no outstanding reservation is a simulator bug.
+func (c *Cache) Fill(block uint32, now int64) []*memreq.Request {
+	e, ok := c.mshr[block]
+	if !ok {
+		panic(fmt.Sprintf("cache: fill of %#x without MSHR entry", block))
+	}
+	delete(c.mshr, block)
+	set := c.sets[c.setIndex(block)]
+	for i := range set {
+		if set[i].state == reserved && set[i].tag == block {
+			set[i].state = valid
+			set[i].lastUse = now
+			c.FillCount++
+			return e.targets
+		}
+	}
+	panic(fmt.Sprintf("cache: fill of %#x with MSHR entry but no reserved line", block))
+}
+
+// Contains reports whether block is present and valid (a testing aid).
+func (c *Cache) Contains(block uint32) bool {
+	set := c.sets[c.setIndex(block)]
+	for i := range set {
+		if set[i].state == valid && set[i].tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingMisses returns the number of allocated MSHR entries.
+func (c *Cache) PendingMisses() int { return len(c.mshr) }
+
+// InvalidateAll clears the cache contents but keeps in-flight reservations;
+// used between kernel launches where GPUs flush L1.
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].state == valid {
+				c.sets[s][w].state = invalid
+			}
+		}
+	}
+}

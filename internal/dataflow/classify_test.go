@@ -1,0 +1,365 @@
+package dataflow
+
+import (
+	"testing"
+
+	"critload/internal/ptx"
+)
+
+// classify parses a single-kernel source and classifies its loads.
+func classify(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := ptx.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return Classify(prog.Kernels[0])
+}
+
+// classes returns the class of each global load in program order.
+func classes(r *Result) []Class {
+	out := make([]Class, len(r.Loads))
+	for i, l := range r.Loads {
+		out[i] = l.Class
+	}
+	return out
+}
+
+func TestClassifyLinearIndexing(t *testing.T) {
+	// a[tid] with tid = ctaid*ntid + tid.x: the paper's canonical
+	// deterministic load.
+	r := classify(t, `
+.kernel lin
+.param .u32 a
+    mov.u32      %r0, %ctaid.x;
+    mov.u32      %r1, %ntid.x;
+    mad.u32      %r2, %r0, %r1, %tid.x;
+    ld.param.u32 %r3, [a];
+    shl.u32      %r4, %r2, 2;
+    add.u32      %r5, %r3, %r4;
+    ld.global.u32 %r6, [%r5];
+    exit;
+`)
+	if got := classes(r); len(got) != 1 || got[0] != Deterministic {
+		t.Errorf("classes = %v, want [deterministic]", got)
+	}
+	// Roots should include the param and the special registers.
+	roots := r.Loads[0].Roots
+	var haveParam, haveSreg bool
+	for _, rt := range roots {
+		if rt.Kind == RootParam && rt.Name == "a" {
+			haveParam = true
+		}
+		if rt.Kind == RootSpecialReg {
+			haveSreg = true
+		}
+	}
+	if !haveParam || !haveSreg {
+		t.Errorf("roots = %+v, want param 'a' and special registers", roots)
+	}
+}
+
+func TestClassifyIndirectLoad(t *testing.T) {
+	// b[a[tid]]: the inner load is deterministic, the outer one is not.
+	r := classify(t, `
+.kernel ind
+.param .u32 a
+.param .u32 b
+    mov.u32      %r0, %tid.x;
+    ld.param.u32 %r1, [a];
+    shl.u32      %r2, %r0, 2;
+    add.u32      %r3, %r1, %r2;
+    ld.global.u32 %r4, [%r3];    // a[tid]: deterministic
+    ld.param.u32 %r5, [b];
+    shl.u32      %r6, %r4, 2;
+    add.u32      %r7, %r5, %r6;
+    ld.global.u32 %r8, [%r7];    // b[a[tid]]: non-deterministic
+    exit;
+`)
+	want := []Class{Deterministic, NonDeterministic}
+	got := classes(r)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("classes = %v, want %v", got, want)
+	}
+	// The non-deterministic load must report a data-load root.
+	var haveDataRoot bool
+	for _, rt := range r.Loads[1].Roots {
+		if rt.Kind == RootDataLoad {
+			haveDataRoot = true
+		}
+	}
+	if !haveDataRoot {
+		t.Errorf("roots of indirect load = %+v, want data-load root", r.Loads[1].Roots)
+	}
+}
+
+func TestClassifyBFSKernel(t *testing.T) {
+	// The paper's Code 1 pattern: mask/nodes loads deterministic, the
+	// edge-indexed loads non-deterministic.
+	r := classify(t, `
+.kernel bfs_step
+.param .u32 g_mask
+.param .u32 g_nodes
+.param .u32 g_edges
+.param .u32 g_visited
+.param .u32 n
+    mov.u32      %r0, %ctaid.x;
+    mov.u32      %r1, %ntid.x;
+    mad.u32      %r2, %r0, %r1, %tid.x;
+    ld.param.u32 %r3, [n];
+    setp.ge.u32  %p0, %r2, %r3;
+@%p0 bra EXIT;
+    ld.param.u32 %r4, [g_mask];
+    shl.u32      %r5, %r2, 2;
+    add.u32      %r6, %r4, %r5;
+    ld.global.u32 %r7, [%r6];               // D: mask[tid]
+    ld.param.u32 %r8, [g_nodes];
+    add.u32      %r9, %r8, %r5;
+    ld.global.u32 %r10, [%r9];              // D: nodes[tid].start
+    ld.global.u32 %r11, [%r9+4];            // D: nodes[tid].count
+    add.u32      %r12, %r10, %r11;
+LOOP:
+    setp.ge.u32  %p2, %r10, %r12;
+@%p2 bra EXIT;
+    ld.param.u32 %r13, [g_edges];
+    shl.u32      %r14, %r10, 2;
+    add.u32      %r15, %r13, %r14;
+    ld.global.u32 %r16, [%r15];             // N: edges[i], i from loaded start
+    ld.param.u32 %r17, [g_visited];
+    shl.u32      %r18, %r16, 2;
+    add.u32      %r19, %r17, %r18;
+    ld.global.u32 %r20, [%r19];             // N: visited[id]
+    add.u32      %r10, %r10, 1;
+    bra LOOP;
+EXIT:
+    exit;
+`)
+	want := []Class{Deterministic, Deterministic, Deterministic, NonDeterministic, NonDeterministic}
+	got := classes(r)
+	if len(got) != len(want) {
+		t.Fatalf("classes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("load %d (PC 0x%x): %v, want %v", i, r.Loads[i].PC, got[i], want[i])
+		}
+	}
+	det, nondet := r.Counts()
+	if det != 3 || nondet != 2 {
+		t.Errorf("Counts = %d,%d want 3,2", det, nondet)
+	}
+}
+
+func TestClassifyLoopInductionStaysDeterministic(t *testing.T) {
+	// An induction variable seeded from tid and incremented in a loop must
+	// remain deterministic even though its defs form a cycle.
+	r := classify(t, `
+.kernel loopdet
+.param .u32 a
+    mov.u32      %r0, %tid.x;
+    ld.param.u32 %r1, [a];
+LOOP:
+    shl.u32      %r2, %r0, 2;
+    add.u32      %r3, %r1, %r2;
+    ld.global.u32 %r4, [%r3];   // a[i]: deterministic for every iteration
+    add.u32      %r0, %r0, 32;
+    setp.lt.u32  %p0, %r0, 4096;
+@%p0 bra LOOP;
+    exit;
+`)
+	if got := classes(r); len(got) != 1 || got[0] != Deterministic {
+		t.Errorf("classes = %v, want [deterministic]", got)
+	}
+}
+
+func TestClassifyLoopCarriedPointerChase(t *testing.T) {
+	// Pointer chasing: p = load(p) in a loop. The load's address depends on
+	// its own previous result — non-deterministic via the loop-carried def.
+	r := classify(t, `
+.kernel chase
+.param .u32 head
+    ld.param.u32 %r0, [head];
+LOOP:
+    ld.global.u32 %r0, [%r0];   // p = *p
+    setp.ne.u32  %p0, %r0, 0;
+@%p0 bra LOOP;
+    exit;
+`)
+	if got := classes(r); len(got) != 1 || got[0] != NonDeterministic {
+		t.Errorf("classes = %v, want [non-deterministic]", got)
+	}
+}
+
+func TestClassifySharedLoadTaints(t *testing.T) {
+	// Addresses computed from shared-memory loads are non-deterministic
+	// (the paper lists ld.shared among the tainting loads).
+	r := classify(t, `
+.kernel sh
+.param .u32 a
+    mov.u32      %r0, %tid.x;
+    shl.u32      %r1, %r0, 2;
+    ld.shared.u32 %r2, [%r1];
+    ld.param.u32 %r3, [a];
+    shl.u32      %r4, %r2, 2;
+    add.u32      %r5, %r3, %r4;
+    ld.global.u32 %r6, [%r5];
+    exit;
+`)
+	if got := classes(r); len(got) != 1 || got[0] != NonDeterministic {
+		t.Errorf("classes = %v, want [non-deterministic]", got)
+	}
+}
+
+func TestClassifyConstLoadDoesNotTaint(t *testing.T) {
+	r := classify(t, `
+.kernel cst
+.param .u32 a
+    mov.u32      %r0, %tid.x;
+    shl.u32      %r1, %r0, 2;
+    ld.const.u32 %r2, [%r1];
+    ld.param.u32 %r3, [a];
+    add.u32      %r4, %r3, %r2;
+    ld.global.u32 %r5, [%r4];
+    exit;
+`)
+	if got := classes(r); len(got) != 1 || got[0] != Deterministic {
+		t.Errorf("classes = %v, want [deterministic]", got)
+	}
+}
+
+func TestClassifyAtomicTaints(t *testing.T) {
+	r := classify(t, `
+.kernel at
+.param .u32 a
+.param .u32 ctr
+    ld.param.u32 %r0, [ctr];
+    atom.global.add.u32 %r1, [%r0], 1;
+    ld.param.u32 %r2, [a];
+    shl.u32      %r3, %r1, 2;
+    add.u32      %r4, %r2, %r3;
+    ld.global.u32 %r5, [%r4];   // indexed by atomic ticket: non-deterministic
+    exit;
+`)
+	if got := classes(r); len(got) != 1 || got[0] != NonDeterministic {
+		t.Errorf("classes = %v, want [non-deterministic]", got)
+	}
+}
+
+func TestClassifyPredicatedDefsMerge(t *testing.T) {
+	// One reaching def is tainted, the other is not: the load must be
+	// classified non-deterministic (may-analysis).
+	r := classify(t, `
+.kernel phi
+.param .u32 a
+.param .u32 b
+    mov.u32      %r0, %tid.x;
+    setp.lt.u32  %p0, %r0, 16;
+    ld.param.u32 %r1, [a];
+    ld.param.u32 %r2, [b];
+    shl.u32      %r3, %r0, 2;
+    add.u32      %r4, %r1, %r3;
+@%p0 ld.global.u32 %r5, [%r4];  // may define %r5 with loaded data
+@!%p0 mov.u32    %r5, %r0;      // or with tid
+    shl.u32      %r6, %r5, 2;
+    add.u32      %r7, %r2, %r6;
+    ld.global.u32 %r8, [%r7];   // depends on maybe-loaded %r5
+    exit;
+`)
+	got := classes(r)
+	if len(got) != 2 {
+		t.Fatalf("loads = %d, want 2", len(got))
+	}
+	if got[0] != Deterministic {
+		t.Errorf("guarded a[tid] load = %v, want deterministic", got[0])
+	}
+	if got[1] != NonDeterministic {
+		t.Errorf("merged-def load = %v, want non-deterministic", got[1])
+	}
+}
+
+func TestClassifyKillRestoresDeterminism(t *testing.T) {
+	// A register is first defined by a data load but then strongly
+	// overwritten with a parameterized value before the address use: the
+	// old def must not reach the load.
+	r := classify(t, `
+.kernel kill
+.param .u32 a
+    ld.param.u32 %r1, [a];
+    ld.global.u32 %r0, [%r1];   // load (deterministic itself)
+    mov.u32      %r0, %tid.x;   // strong overwrite kills the loaded def
+    shl.u32      %r2, %r0, 2;
+    add.u32      %r3, %r1, %r2;
+    ld.global.u32 %r4, [%r3];
+    exit;
+`)
+	got := classes(r)
+	if len(got) != 2 || got[1] != Deterministic {
+		t.Errorf("classes = %v, want second load deterministic", got)
+	}
+}
+
+func TestClassifyAbsoluteAddressLoad(t *testing.T) {
+	r := classify(t, `
+.kernel abs
+    ld.global.u32 %r0, [65536];
+    exit;
+`)
+	got := classes(r)
+	if len(got) != 1 || got[0] != Deterministic {
+		t.Errorf("classes = %v, want [deterministic]", got)
+	}
+	if len(r.Loads[0].Roots) != 1 || r.Loads[0].Roots[0].Kind != RootImmediate {
+		t.Errorf("roots = %+v, want [imm]", r.Loads[0].Roots)
+	}
+}
+
+func TestClassifyUndefinedAddress(t *testing.T) {
+	r := classify(t, `
+.kernel undef
+    ld.global.u32 %r0, [%r9];
+    exit;
+`)
+	got := classes(r)
+	if len(got) != 1 {
+		t.Fatalf("loads = %d, want 1", len(got))
+	}
+	if len(r.Loads[0].Roots) != 1 || r.Loads[0].Roots[0].Kind != RootUndefined {
+		t.Errorf("roots = %+v, want [undef]", r.Loads[0].Roots)
+	}
+}
+
+func TestClassifyProgramCoversAllKernels(t *testing.T) {
+	prog, err := ptx.Parse(`
+.kernel k1
+.param .u32 a
+    ld.param.u32 %r0, [a];
+    ld.global.u32 %r1, [%r0];
+    exit;
+.kernel k2
+    exit;
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	res := ClassifyProgram(prog)
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if len(res["k1"].Loads) != 1 || len(res["k2"].Loads) != 0 {
+		t.Errorf("load counts wrong: k1=%d k2=%d", len(res["k1"].Loads), len(res["k2"].Loads))
+	}
+}
+
+func TestResultStringIncludesPCs(t *testing.T) {
+	r := classify(t, `
+.kernel s
+.param .u32 a
+    ld.param.u32 %r0, [a];
+    ld.global.u32 %r1, [%r0];
+    exit;
+`)
+	s := r.String()
+	if s == "" || len(r.Loads) != 1 {
+		t.Fatalf("unexpected result %q", s)
+	}
+}

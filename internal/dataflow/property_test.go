@@ -1,0 +1,102 @@
+package dataflow
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"critload/internal/ptx"
+)
+
+// genProgram builds a random straight-line kernel: a pool of registers is
+// initialized from parameterized sources, then arithmetic ops mix them, with
+// optional data loads whose results may or may not feed the final load's
+// address register.
+func genProgram(rng *rand.Rand, withDataLoad bool) (string, bool) {
+	var b strings.Builder
+	b.WriteString(".kernel rndk\n.param .u32 base\n")
+	nRegs := 4 + rng.Intn(6)
+	// Initialize each register from a deterministic source.
+	for r := 0; r < nRegs; r++ {
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "mov.u32 %%r%d, %%tid.x;\n", r)
+		case 1:
+			fmt.Fprintf(&b, "mov.u32 %%r%d, %d;\n", r, rng.Intn(100))
+		default:
+			fmt.Fprintf(&b, "ld.param.u32 %%r%d, [base];\n", r)
+		}
+	}
+	// A data load may taint one register.
+	tainted := -1
+	if withDataLoad {
+		tainted = rng.Intn(nRegs)
+		fmt.Fprintf(&b, "ld.param.u32 %%r%d, [base];\n", nRegs) // address source
+		fmt.Fprintf(&b, "ld.global.u32 %%r%d, [%%r%d];\n", tainted, nRegs)
+	}
+	// Random arithmetic propagates values (and taint) around.
+	taintSet := map[int]bool{}
+	if tainted >= 0 {
+		taintSet[tainted] = true
+	}
+	ops := []string{"add", "sub", "mul", "and", "or", "xor", "min", "max"}
+	for i := 0; i < 10+rng.Intn(10); i++ {
+		d, a, bb := rng.Intn(nRegs), rng.Intn(nRegs), rng.Intn(nRegs)
+		fmt.Fprintf(&b, "%s.u32 %%r%d, %%r%d, %%r%d;\n", ops[rng.Intn(len(ops))], d, a, bb)
+		taintSet[d] = taintSet[a] || taintSet[bb]
+	}
+	// The final load uses a random register as its address.
+	addr := rng.Intn(nRegs)
+	fmt.Fprintf(&b, "ld.global.u32 %%r%d, [%%r%d];\nexit;\n", nRegs+1, addr)
+	return b.String(), taintSet[addr]
+}
+
+// TestQuickClassifierMatchesReferenceTaint cross-checks the dataflow
+// classifier against an independent straight-line taint interpreter on
+// randomly generated programs.
+func TestQuickClassifierMatchesReferenceTaint(t *testing.T) {
+	f := func(seed int64, withLoad bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src, wantTainted := genProgram(rng, withLoad)
+		prog, err := ptx.Parse(src)
+		if err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		}
+		res := Classify(prog.Kernels[0])
+		// The final load is the last classified load.
+		last := res.Loads[len(res.Loads)-1]
+		got := last.Class == NonDeterministic
+		if got != wantTainted {
+			t.Logf("mismatch (want tainted=%v):\n%s", wantTainted, src)
+		}
+		return got == wantTainted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoDataLoadNeverNonDet: a program without any data load can never
+// produce a non-deterministic classification.
+func TestQuickNoDataLoadNeverNonDet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src, _ := genProgram(rng, false)
+		prog, err := ptx.Parse(src)
+		if err != nil {
+			return false
+		}
+		res := Classify(prog.Kernels[0])
+		for _, l := range res.Loads {
+			if l.Class == NonDeterministic {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

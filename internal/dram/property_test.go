@@ -1,0 +1,73 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"critload/internal/memreq"
+)
+
+// Property: under random load, every accepted read eventually completes with
+// latency ≥ the unloaded access latency, writes never produce completions,
+// and the queue never exceeds its capacity.
+func TestQuickControllerConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.QueueCap = 1 + rng.Intn(16)
+
+		enqueued := map[*memreq.Request]int64{}
+		completed := map[*memreq.Request]int64{}
+		var reads, writes int
+		c := MustNew(cfg, func(r *memreq.Request, now int64) {
+			if _, dup := completed[r]; dup {
+				t.Fatalf("duplicate completion")
+			}
+			completed[r] = now
+		})
+
+		for cyc := int64(0); cyc < 400; cyc++ {
+			for tries := rng.Intn(3); tries > 0; tries-- {
+				if !c.CanAccept() {
+					break
+				}
+				kind := memreq.Load
+				if rng.Intn(4) == 0 {
+					kind = memreq.Store
+				}
+				r := &memreq.Request{
+					Block: uint32(rng.Intn(1<<16)) * 128,
+					Kind:  kind,
+				}
+				c.Enqueue(r, cyc)
+				enqueued[r] = cyc
+				if kind == memreq.Load {
+					reads++
+				} else {
+					writes++
+				}
+			}
+			c.Step(cyc)
+		}
+		// Drain.
+		for cyc := int64(400); cyc < 200000 && c.Pending() > 0; cyc++ {
+			c.Step(cyc)
+		}
+		if c.Pending() != 0 {
+			return false
+		}
+		if len(completed) != reads {
+			return false // every read completes exactly once, writes never
+		}
+		for r, done := range completed {
+			if done-enqueued[r] < cfg.AccessLatency {
+				return false
+			}
+		}
+		return int(c.Serviced) == reads+writes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"critload/internal/isa"
+	"critload/internal/mem"
+	"critload/internal/ptx"
+)
+
+// This file cross-checks the warp-level SIMT execution (reconvergence stack,
+// predication, divergence) against an independent per-thread scalar
+// interpreter on randomly generated kernels. For kernels without shared
+// memory, barriers or cross-thread memory communication, executing each
+// thread in isolation must produce exactly the same architectural results
+// as the lock-step warp execution.
+
+// scalarThread interprets a kernel for one thread, sequentially.
+type scalarThread struct {
+	k     *ptx.Kernel
+	l     *Launch
+	cta   Dim3
+	ctaID int
+	tid   Dim3
+	lane  int
+	warp  int
+	regs  []uint32
+	preds []bool
+	out   map[uint32]uint32 // global stores
+}
+
+func (s *scalarThread) sreg(r isa.SpecialReg) uint32 {
+	switch r {
+	case isa.SrTidX:
+		return uint32(s.tid.X)
+	case isa.SrTidY:
+		return uint32(s.tid.Y)
+	case isa.SrTidZ:
+		return uint32(s.tid.Z)
+	case isa.SrNTidX:
+		return uint32(s.l.Block.X)
+	case isa.SrNTidY:
+		return uint32(s.l.Block.Y)
+	case isa.SrNTidZ:
+		return uint32(s.l.Block.Z)
+	case isa.SrCtaIdX:
+		return uint32(s.cta.X)
+	case isa.SrCtaIdY:
+		return uint32(s.cta.Y)
+	case isa.SrCtaIdZ:
+		return uint32(s.cta.Z)
+	case isa.SrNCtaIdX:
+		return uint32(s.l.Grid.X)
+	case isa.SrNCtaIdY:
+		return uint32(s.l.Grid.Y)
+	case isa.SrNCtaIdZ:
+		return uint32(s.l.Grid.Z)
+	case isa.SrLaneId:
+		return uint32(s.lane)
+	case isa.SrWarpId:
+		return uint32(s.warp)
+	}
+	return 0
+}
+
+func (s *scalarThread) value(o isa.Operand) uint32 {
+	switch o.Kind {
+	case isa.OpdReg:
+		return s.regs[o.Reg]
+	case isa.OpdImm:
+		return uint32(int32(o.Imm))
+	case isa.OpdSReg:
+		return s.sreg(o.SReg)
+	case isa.OpdPred:
+		if s.preds[o.Reg] {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// run executes up to maxSteps instructions; it returns false on overrun.
+func (s *scalarThread) run(m *mem.Memory, maxSteps int) bool {
+	pc := 0
+	for steps := 0; steps < maxSteps; steps++ {
+		if pc >= len(s.k.Insts) {
+			return true
+		}
+		in := s.k.Insts[pc]
+		exec := true
+		if in.Guard.Active() {
+			exec = s.preds[in.Guard.Reg] != in.Guard.Negate
+		}
+		if !exec {
+			pc++
+			continue
+		}
+		switch in.Op {
+		case isa.OpExit, isa.OpRet:
+			return true
+		case isa.OpBra:
+			pc = in.Targ
+			continue
+		case isa.OpSetp:
+			a, b := s.value(in.Srcs[0]), s.value(in.Srcs[1])
+			s.preds[in.Dst.Reg] = compare(in.Type, in.Cmp, a, b)
+		case isa.OpSelp:
+			if s.preds[in.Srcs[2].Reg] {
+				s.regs[in.Dst.Reg] = s.value(in.Srcs[0])
+			} else {
+				s.regs[in.Dst.Reg] = s.value(in.Srcs[1])
+			}
+		case isa.OpLd:
+			switch in.Space {
+			case isa.SpaceParam:
+				off, _ := s.k.ParamOffset(in.Srcs[0].Param)
+				s.regs[in.Dst.Reg] = s.l.Params[(off+int(in.Srcs[0].Imm))/4]
+			case isa.SpaceGlobal:
+				addr := s.regs[in.Srcs[0].Reg] + uint32(int32(in.Srcs[0].Imm))
+				// Threads only read their initial input region in generated
+				// kernels, so the pristine memory is the right source.
+				s.regs[in.Dst.Reg] = m.Read32(addr)
+			}
+		case isa.OpSt:
+			addr := s.regs[in.Srcs[0].Reg] + uint32(int32(in.Srcs[0].Imm))
+			s.out[addr] = s.value(in.Srcs[1])
+		default:
+			// Reuse the warp ALU by evaluating through a scratch warp? The
+			// scalar interpreter re-implements only the ops the generator
+			// emits.
+			a := s.value(in.Srcs[0])
+			var b uint32
+			if in.NSrc > 1 {
+				b = s.value(in.Srcs[1])
+			}
+			var v uint32
+			switch in.Op {
+			case isa.OpMov:
+				v = a
+			case isa.OpAdd:
+				v = a + b
+			case isa.OpSub:
+				v = a - b
+			case isa.OpMul:
+				v = a * b
+			case isa.OpMad:
+				v = a*b + s.value(in.Srcs[2])
+			case isa.OpAnd:
+				v = a & b
+			case isa.OpOr:
+				v = a | b
+			case isa.OpXor:
+				v = a ^ b
+			case isa.OpShl:
+				v = a << (b & 31)
+			case isa.OpShr:
+				v = a >> (b & 31)
+			case isa.OpMin:
+				v = minByType(in.Type, a, b)
+			case isa.OpMax:
+				v = maxByType(in.Type, a, b)
+			default:
+				v = a
+			}
+			s.regs[in.Dst.Reg] = v
+		}
+		pc++
+	}
+	return false
+}
+
+// genDivergentKernel builds a random kernel with nested data-dependent
+// branches, a bounded loop, predicated instructions, and a final store of a
+// hash register to out[gtid].
+func genDivergentKernel(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString(".kernel diffk\n.param .u32 out\n.param .u32 in\n")
+	// Global thread id in %r0; input value in %r1; hash accumulator %r2.
+	b.WriteString(`    mov.u32 %r10, %ctaid.x;
+    mov.u32 %r11, %ntid.x;
+    mad.u32 %r0, %r10, %r11, %tid.x;
+    shl.u32 %r12, %r0, 2;
+    ld.param.u32 %r13, [in];
+    add.u32 %r14, %r13, %r12;
+    ld.global.u32 %r1, [%r14];
+    mov.u32 %r2, 0;
+`)
+	label := 0
+	newLabel := func() string { label++; return fmt.Sprintf("L%d", label) }
+
+	var emitBlock func(depth int)
+	emitBlock = func(depth int) {
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			switch choice := rng.Intn(6); {
+			case choice < 3 || depth >= 3:
+				// Arithmetic on the hash register.
+				ops := []string{"add", "xor", "mul", "sub", "or"}
+				op := ops[rng.Intn(len(ops))]
+				src := []string{"%r0", "%r1", fmt.Sprintf("%d", rng.Intn(1<<16))}[rng.Intn(3)]
+				fmt.Fprintf(&b, "    %s.u32 %%r2, %%r2, %s;\n", op, src)
+				fmt.Fprintf(&b, "    add.u32 %%r2, %%r2, %d;\n", rng.Intn(97))
+			case choice == 3:
+				// Predicated instruction.
+				fmt.Fprintf(&b, "    setp.lt.u32 %%p0, %%r1, %d;\n", rng.Intn(1<<20))
+				fmt.Fprintf(&b, "@%%p0 add.u32 %%r2, %%r2, %d;\n", rng.Intn(1<<10))
+				fmt.Fprintf(&b, "@!%%p0 xor.u32 %%r2, %%r2, %d;\n", rng.Intn(1<<10))
+			case choice == 4:
+				// Data-dependent if/else diamond.
+				thenL, joinL := newLabel(), newLabel()
+				bit := uint32(1) << rng.Intn(8)
+				fmt.Fprintf(&b, "    and.u32 %%r3, %%r1, %d;\n", bit)
+				fmt.Fprintf(&b, "    setp.ne.u32 %%p1, %%r3, 0;\n")
+				fmt.Fprintf(&b, "@%%p1 bra %s;\n", thenL)
+				emitBlock(depth + 1)
+				fmt.Fprintf(&b, "    bra %s;\n", joinL)
+				fmt.Fprintf(&b, "%s:\n", thenL)
+				emitBlock(depth + 1)
+				fmt.Fprintf(&b, "%s:\n", joinL)
+			default:
+				// Bounded divergent loop: trip count = (input & 7) + 1.
+				loopL := newLabel()
+				fmt.Fprintf(&b, "    and.u32 %%r4, %%r1, 7;\n")
+				fmt.Fprintf(&b, "    add.u32 %%r4, %%r4, 1;\n")
+				fmt.Fprintf(&b, "    mov.u32 %%r5, 0;\n")
+				fmt.Fprintf(&b, "%s:\n", loopL)
+				fmt.Fprintf(&b, "    add.u32 %%r2, %%r2, %%r5;\n")
+				fmt.Fprintf(&b, "    add.u32 %%r5, %%r5, 1;\n")
+				fmt.Fprintf(&b, "    setp.lt.u32 %%p2, %%r5, %%r4;\n")
+				fmt.Fprintf(&b, "@%%p2 bra %s;\n", loopL)
+			}
+		}
+	}
+	emitBlock(0)
+	b.WriteString(`    ld.param.u32 %r20, [out];
+    add.u32 %r21, %r20, %r12;
+    st.global.u32 [%r21], %r2;
+    exit;
+`)
+	return b.String()
+}
+
+// TestQuickSIMTMatchesScalarReference executes random divergent kernels both
+// on the warp-level emulator and thread-by-thread on the scalar reference,
+// comparing every output element.
+func TestQuickSIMTMatchesScalarReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genDivergentKernel(rng)
+		prog, err := ptx.Parse(src)
+		if err != nil {
+			t.Fatalf("generated kernel does not parse: %v\n%s", err, src)
+		}
+		k := prog.Kernels[0]
+
+		const nThreads = 96 // 2 CTAs of 48: partial warps included
+		const block = 48
+		input := make([]uint32, nThreads)
+		for i := range input {
+			input[i] = rng.Uint32()
+		}
+
+		// SIMT execution.
+		m := mem.New()
+		inB := m.AllocU32s(input)
+		outB := m.Alloc(4 * nThreads)
+		l := &Launch{Kernel: k, Grid: Dim1(nThreads / block), Block: Dim1(block),
+			Params: []uint32{outB, inB}}
+		if _, err := Run(&Env{Mem: m, Launch: l}, RunOptions{}); err != nil {
+			t.Fatalf("SIMT run: %v\n%s", err, src)
+		}
+
+		// Scalar reference, thread by thread against pristine inputs.
+		ref := mem.New()
+		refIn := ref.AllocU32s(input)
+		if refIn != inB {
+			t.Fatalf("allocator divergence")
+		}
+		ok := true
+		for gtid := 0; gtid < nThreads; gtid++ {
+			st := &scalarThread{
+				k: k, l: l,
+				cta:   Dim3{X: gtid / block, Y: 0, Z: 0},
+				ctaID: gtid / block,
+				tid:   Dim3{X: gtid % block, Y: 0, Z: 0},
+				lane:  (gtid % block) % WarpSize,
+				warp:  (gtid % block) / WarpSize,
+				regs:  make([]uint32, k.NumRegs),
+				preds: make([]bool, k.NumPreds),
+				out:   map[uint32]uint32{},
+			}
+			if !st.run(ref, 100000) {
+				t.Fatalf("scalar reference did not terminate\n%s", src)
+			}
+			want := st.out[outB+uint32(4*gtid)]
+			got := m.Read32(outB + uint32(4*gtid))
+			if got != want {
+				t.Logf("thread %d: SIMT %#x != scalar %#x (seed %d)\n%s", gtid, got, want, seed, src)
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

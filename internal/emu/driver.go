@@ -1,0 +1,121 @@
+package emu
+
+import (
+	"fmt"
+
+	"critload/internal/isa"
+)
+
+// StepListener observes every executed warp instruction. The Step value is
+// only valid for the duration of the call.
+type StepListener func(ctaID int, w *Warp, s *Step)
+
+// RunOptions controls a functional kernel run.
+type RunOptions struct {
+	// Listener, when non-nil, receives every executed step.
+	Listener StepListener
+	// MaxWarpInsts aborts the run after this many warp instructions
+	// (0 = unlimited). Used to bound simulation the way the paper bounds
+	// GPGPU-Sim runs to the first billion instructions.
+	MaxWarpInsts uint64
+}
+
+// RunResult summarizes a functional run.
+type RunResult struct {
+	WarpInsts    uint64 // warp-level instructions executed
+	ThreadInsts  uint64 // thread-level instructions (sum of exec-lane counts)
+	GlobalLoads  uint64 // warp-level ld.global instructions
+	SharedLoads  uint64 // warp-level ld.shared instructions
+	GlobalStores uint64
+	Truncated    bool // true when MaxWarpInsts stopped the run early
+}
+
+// Add accumulates another result (for multi-launch workloads).
+func (r *RunResult) Add(o RunResult) {
+	r.WarpInsts += o.WarpInsts
+	r.ThreadInsts += o.ThreadInsts
+	r.GlobalLoads += o.GlobalLoads
+	r.SharedLoads += o.SharedLoads
+	r.GlobalStores += o.GlobalStores
+	r.Truncated = r.Truncated || o.Truncated
+}
+
+// Run functionally executes the launch to completion: CTAs run sequentially,
+// warps within a CTA are interleaved in round-robin slices so that barrier
+// semantics hold.
+func Run(env *Env, opts RunOptions) (RunResult, error) {
+	var res RunResult
+	l := env.Launch
+	if err := l.Validate(); err != nil {
+		return res, err
+	}
+	nCTA := l.Grid.Count()
+	for id := 0; id < nCTA; id++ {
+		cta := NewCTA(l, id)
+		if err := runCTA(env, cta, opts, &res); err != nil {
+			return res, fmt.Errorf("emu: CTA %d: %w", id, err)
+		}
+		if res.Truncated {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// warpSlice is the number of instructions a warp may run before the driver
+// rotates to the next warp; small enough to interleave warps realistically,
+// large enough to keep driver overhead low.
+const warpSlice = 64
+
+func runCTA(env *Env, cta *CTA, opts RunOptions, res *RunResult) error {
+	for {
+		progressed := false
+		for _, w := range cta.Warps {
+			if w.Done() || w.AtBarrier {
+				continue
+			}
+			for i := 0; i < warpSlice; i++ {
+				if w.Done() || w.AtBarrier {
+					break
+				}
+				step, err := w.Execute(env)
+				if err != nil {
+					return err
+				}
+				progressed = true
+				record(env, cta, w, &step, opts, res)
+				if opts.MaxWarpInsts > 0 && res.WarpInsts >= opts.MaxWarpInsts {
+					res.Truncated = true
+					return nil
+				}
+			}
+		}
+		if cta.Done() {
+			return nil
+		}
+		if cta.barrierReady() {
+			cta.ReleaseBarrier()
+			continue
+		}
+		if !progressed {
+			return fmt.Errorf("deadlock: no warp can progress")
+		}
+	}
+}
+
+func record(env *Env, cta *CTA, w *Warp, step *Step, opts RunOptions, res *RunResult) {
+	res.WarpInsts++
+	res.ThreadInsts += uint64(step.ExecCount())
+	in := step.Inst
+	switch {
+	case in.IsGlobalLoad():
+		res.GlobalLoads++
+	case in.IsSharedLoad():
+		res.SharedLoads++
+	case in.Op == isa.OpSt && in.Space == isa.SpaceGlobal:
+		res.GlobalStores++
+	}
+	if opts.Listener != nil {
+		opts.Listener(cta.ID, w, step)
+	}
+}

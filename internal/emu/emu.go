@@ -1,0 +1,321 @@
+// Package emu is the functional SIMT emulator for the PTX-subset ISA. It
+// executes kernels warp by warp with a reconvergence-stack divergence model,
+// producing per-instruction execution records that both the statistics
+// collectors and the timing simulator consume. Values are computed here —
+// the timing simulator only models latency on top (execution-driven
+// simulation, as in GPGPU-Sim).
+package emu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"critload/internal/isa"
+	"critload/internal/mem"
+	"critload/internal/ptx"
+)
+
+// WarpSize is the number of SIMT lanes per warp.
+const WarpSize = 32
+
+// FullMask is the active mask with all lanes on.
+const FullMask = uint32(0xffffffff)
+
+// Dim3 is a three-dimensional launch extent or coordinate.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// Dim1 returns a one-dimensional Dim3.
+func Dim1(x int) Dim3 { return Dim3{X: x, Y: 1, Z: 1} }
+
+// Dim2 returns a two-dimensional Dim3.
+func Dim2(x, y int) Dim3 { return Dim3{X: x, Y: y, Z: 1} }
+
+// Count returns the total number of elements in the extent.
+func (d Dim3) Count() int { return d.X * d.Y * d.Z }
+
+func (d Dim3) String() string { return fmt.Sprintf("(%d,%d,%d)", d.X, d.Y, d.Z) }
+
+// Launch describes one kernel launch: grid and block extents plus the
+// parameter values (each parameter is one 32-bit word, typically a device
+// pointer or a scalar).
+type Launch struct {
+	Kernel *ptx.Kernel
+	Grid   Dim3
+	Block  Dim3
+	Params []uint32
+}
+
+// Validate checks that the launch matches the kernel's parameter list and
+// hardware limits.
+func (l *Launch) Validate() error {
+	if l.Kernel == nil {
+		return fmt.Errorf("emu: launch without kernel")
+	}
+	if len(l.Params) != len(l.Kernel.Params) {
+		return fmt.Errorf("emu: kernel %s expects %d params, launch has %d",
+			l.Kernel.Name, len(l.Kernel.Params), len(l.Params))
+	}
+	if l.Grid.Count() <= 0 || l.Block.Count() <= 0 {
+		return fmt.Errorf("emu: empty grid or block")
+	}
+	if l.Block.Count() > 1536 {
+		return fmt.Errorf("emu: block of %d threads exceeds the 1536-thread SM limit", l.Block.Count())
+	}
+	return nil
+}
+
+// WarpsPerCTA returns the number of warps needed for one thread block.
+func (l *Launch) WarpsPerCTA() int {
+	return (l.Block.Count() + WarpSize - 1) / WarpSize
+}
+
+// CTACoord converts a linearized CTA id back to grid coordinates.
+func (l *Launch) CTACoord(id int) Dim3 {
+	x := id % l.Grid.X
+	y := (id / l.Grid.X) % l.Grid.Y
+	z := id / (l.Grid.X * l.Grid.Y)
+	return Dim3{X: x, Y: y, Z: z}
+}
+
+// Env bundles the state a warp needs to execute: the global memory, the
+// parameter space, and the CTA's shared memory.
+type Env struct {
+	Mem    *mem.Memory
+	Launch *Launch
+}
+
+// CTA is one cooperative thread array in flight.
+type CTA struct {
+	ID     int // linearized CTA id: x + y*gridX + z*gridX*gridY
+	Coord  Dim3
+	Shared []byte
+	Warps  []*Warp
+}
+
+// NewCTA instantiates the CTA with the given linear id, creating its warps
+// and shared memory.
+func NewCTA(l *Launch, id int) *CTA {
+	shBytes := l.Kernel.SharedBytes
+	c := &CTA{ID: id, Coord: l.CTACoord(id), Shared: make([]byte, shBytes)}
+	nWarp := l.WarpsPerCTA()
+	for w := 0; w < nWarp; w++ {
+		c.Warps = append(c.Warps, newWarp(l, c, w))
+	}
+	return c
+}
+
+// Done reports whether every warp of the CTA has exited.
+func (c *CTA) Done() bool {
+	for _, w := range c.Warps {
+		if !w.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// barrierReady reports whether every live warp is waiting at the barrier.
+func (c *CTA) barrierReady() bool {
+	for _, w := range c.Warps {
+		if !w.Done() && !w.AtBarrier {
+			return false
+		}
+	}
+	return true
+}
+
+// ReleaseBarrier clears the barrier flag on all warps; callers must first
+// check barrierReady.
+func (c *CTA) ReleaseBarrier() {
+	for _, w := range c.Warps {
+		w.AtBarrier = false
+	}
+}
+
+// stackEntry is one SIMT reconvergence-stack entry.
+type stackEntry struct {
+	pc   int    // next instruction index for this entry
+	rpc  int    // reconvergence instruction index (pop when pc == rpc)
+	mask uint32 // lanes executing under this entry
+}
+
+// Warp holds the architectural state of one warp.
+type Warp struct {
+	CTA       *CTA
+	Index     int // warp index within the CTA
+	AtBarrier bool
+
+	kernel *ptx.Kernel
+	regs   []uint32 // numRegs × WarpSize, laid out reg-major
+	preds  []uint32 // one lane-bitmask per predicate register
+	stack  []stackEntry
+	// laneTid[l] is the linear thread id within the block of lane l, or -1
+	// for lanes beyond the block size.
+	laneTid [WarpSize]int
+	// InstructionsExecuted counts warp-level instructions retired.
+	InstructionsExecuted uint64
+}
+
+func newWarp(l *Launch, c *CTA, index int) *Warp {
+	k := l.Kernel
+	w := &Warp{
+		CTA:    c,
+		Index:  index,
+		kernel: k,
+		regs:   make([]uint32, k.NumRegs*WarpSize),
+		preds:  make([]uint32, k.NumPreds),
+	}
+	blockThreads := l.Block.Count()
+	var mask uint32
+	for lane := 0; lane < WarpSize; lane++ {
+		t := index*WarpSize + lane
+		if t < blockThreads {
+			w.laneTid[lane] = t
+			mask |= 1 << lane
+		} else {
+			w.laneTid[lane] = -1
+		}
+	}
+	w.stack = append(w.stack, stackEntry{pc: 0, rpc: len(k.Insts), mask: mask})
+	return w
+}
+
+// Done reports whether the warp has no live lanes left.
+func (w *Warp) Done() bool {
+	w.normalize()
+	return len(w.stack) == 0
+}
+
+// PC returns the current instruction index, or -1 when done.
+func (w *Warp) PC() int {
+	w.normalize()
+	if len(w.stack) == 0 {
+		return -1
+	}
+	return w.stack[len(w.stack)-1].pc
+}
+
+// ActiveMask returns the current top-of-stack active mask.
+func (w *Warp) ActiveMask() uint32 {
+	w.normalize()
+	if len(w.stack) == 0 {
+		return 0
+	}
+	return w.stack[len(w.stack)-1].mask
+}
+
+// NextInst returns the instruction the warp will execute next, or nil when
+// the warp has finished.
+func (w *Warp) NextInst() *isa.Instruction {
+	pc := w.PC()
+	if pc < 0 {
+		return nil
+	}
+	return w.kernel.Insts[pc]
+}
+
+// normalize pops reconverged or empty stack entries.
+func (w *Warp) normalize() {
+	for len(w.stack) > 0 {
+		top := &w.stack[len(w.stack)-1]
+		if top.mask == 0 || top.pc == top.rpc || top.pc >= len(w.kernel.Insts) {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return
+	}
+}
+
+// Reg returns the value of general register r in lane l.
+func (w *Warp) Reg(r, l int) uint32 { return w.regs[r*WarpSize+l] }
+
+// SetReg sets general register r in lane l.
+func (w *Warp) SetReg(r, l int, v uint32) { w.regs[r*WarpSize+l] = v }
+
+// Pred returns predicate register p in lane l.
+func (w *Warp) Pred(p, l int) bool { return w.preds[p]&(1<<l) != 0 }
+
+// SetPred sets predicate register p in lane l.
+func (w *Warp) SetPred(p, l int, v bool) {
+	if v {
+		w.preds[p] |= 1 << l
+	} else {
+		w.preds[p] &^= 1 << l
+	}
+}
+
+// LaneThread returns the (x,y,z) thread coordinate of lane l, or ok=false
+// for lanes beyond the block extent.
+func (w *Warp) LaneThread(l *Launch, lane int) (Dim3, bool) {
+	t := w.laneTid[lane]
+	if t < 0 {
+		return Dim3{}, false
+	}
+	x := t % l.Block.X
+	y := (t / l.Block.X) % l.Block.Y
+	z := t / (l.Block.X * l.Block.Y)
+	return Dim3{X: x, Y: y, Z: z}, true
+}
+
+func (w *Warp) sregValue(l *Launch, sr isa.SpecialReg, lane int) uint32 {
+	tc, _ := w.LaneThread(l, lane)
+	switch sr {
+	case isa.SrTidX:
+		return uint32(tc.X)
+	case isa.SrTidY:
+		return uint32(tc.Y)
+	case isa.SrTidZ:
+		return uint32(tc.Z)
+	case isa.SrNTidX:
+		return uint32(l.Block.X)
+	case isa.SrNTidY:
+		return uint32(l.Block.Y)
+	case isa.SrNTidZ:
+		return uint32(l.Block.Z)
+	case isa.SrCtaIdX:
+		return uint32(w.CTA.Coord.X)
+	case isa.SrCtaIdY:
+		return uint32(w.CTA.Coord.Y)
+	case isa.SrCtaIdZ:
+		return uint32(w.CTA.Coord.Z)
+	case isa.SrNCtaIdX:
+		return uint32(l.Grid.X)
+	case isa.SrNCtaIdY:
+		return uint32(l.Grid.Y)
+	case isa.SrNCtaIdZ:
+		return uint32(l.Grid.Z)
+	case isa.SrLaneId:
+		return uint32(lane)
+	case isa.SrWarpId:
+		return uint32(w.Index)
+	}
+	return 0
+}
+
+// Step is the record of one executed warp instruction, consumed by the
+// statistics collectors and the timing simulator.
+type Step struct {
+	Inst *isa.Instruction
+	// Active is the SIMT active mask before applying the guard predicate.
+	Active uint32
+	// Exec is the set of lanes that actually executed (guard applied). For
+	// memory instructions these are the lanes that generate accesses.
+	Exec uint32
+	// Addrs holds per-lane effective byte addresses for memory operations
+	// (valid for lanes set in Exec).
+	Addrs [WarpSize]uint32
+	// Mem marks global/shared/local/tex data-space memory operations.
+	Mem bool
+	// Barrier marks bar.sync execution: the warp must block until release.
+	Barrier bool
+	// Exited marks that the warp fully retired with this instruction.
+	Exited bool
+}
+
+// ActiveCount returns the number of pre-guard active lanes.
+func (s *Step) ActiveCount() int { return bits.OnesCount32(s.Active) }
+
+// ExecCount returns the number of lanes that executed.
+func (s *Step) ExecCount() int { return bits.OnesCount32(s.Exec) }

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"critload/internal/gpu"
+	"critload/internal/sm"
+	"critload/internal/stats"
+	"critload/internal/workloads"
+)
+
+// AblationRow compares one workload under two configurations.
+type AblationRow struct {
+	Name     string
+	Category workloads.Category
+	// Baseline / variant cycle counts and L1 hit ratios.
+	BaseCycles, VariantCycles         int64
+	BaseL1Hit, VariantL1Hit           float64
+	BaseTurnaround, VariantTurnaround float64
+}
+
+func l1HitRatio(col *stats.Collector) float64 {
+	acc := col.L1Acc[stats.Det] + col.L1Acc[stats.NonDet]
+	miss := col.L1Miss[stats.Det] + col.L1Miss[stats.NonDet]
+	if acc == 0 {
+		return 0
+	}
+	return 1 - float64(miss)/float64(acc)
+}
+
+func meanTurnaround(col *stats.Collector) float64 {
+	t := col.Turnaround[stats.Det]
+	n := col.Turnaround[stats.NonDet]
+	ops := t.Ops + n.Ops
+	if ops == 0 {
+		return 0
+	}
+	return float64(t.Total+n.Total) / float64(ops)
+}
+
+// AblationCTAScheduling compares the hardware round-robin CTA scheduler with
+// the clustered scheduler from Section X.B (neighbouring CTAs on the same SM
+// to convert inter-CTA sharing into L1 hits).
+func AblationCTAScheduling(opts Options) ([]AblationRow, error) {
+	base := opts.gpuConfig()
+	base.CTAPolicy = gpu.CTARoundRobin
+	variant := base
+	variant.CTAPolicy = gpu.CTAClustered
+	return compare(opts, base, variant)
+}
+
+// AblationWarpScheduler compares the loose-round-robin warp scheduler with
+// greedy-then-oldest, the kind of instruction-aware specialization
+// Section X.A motivates.
+func AblationWarpScheduler(opts Options) ([]AblationRow, error) {
+	base := opts.gpuConfig()
+	base.SM.Policy = sm.LRR
+	variant := base
+	variant.SM.Policy = sm.GTO
+	return compare(opts, base, variant)
+}
+
+// AblationNonDetBypass compares the baseline L1 with the Section X.A
+// instruction-specific optimization that routes non-deterministic loads
+// around the L1, freeing its tags and MSHRs for deterministic loads.
+func AblationNonDetBypass(opts Options) ([]AblationRow, error) {
+	base := opts.gpuConfig()
+	base.SM.NonDetBypassL1 = false
+	variant := base
+	variant.SM.NonDetBypassL1 = true
+	return compare(opts, base, variant)
+}
+
+// AblationNextLinePrefetch compares the baseline with a next-line L1
+// prefetcher, the kind of application-oblivious mechanism the paper argues
+// should instead be instruction-aware: it helps unit-stride deterministic
+// streams and pollutes the cache for non-deterministic ones.
+func AblationNextLinePrefetch(opts Options) ([]AblationRow, error) {
+	base := opts.gpuConfig()
+	base.SM.PrefetchNextLine = false
+	variant := base
+	variant.SM.PrefetchNextLine = true
+	return compare(opts, base, variant)
+}
+
+// AblationSemiGlobalL2 compares the unified L2 of Table II with the
+// Section X.C semi-global organization (L2 slice groups private to SM
+// clusters).
+func AblationSemiGlobalL2(opts Options) ([]AblationRow, error) {
+	base := opts.gpuConfig()
+	base.L2Clusters = 0
+	variant := base
+	variant.L2Clusters = 2
+	return compare(opts, base, variant)
+}
+
+func compare(opts Options, base, variant gpu.Config) ([]AblationRow, error) {
+	var rows []AblationRow
+	err := runAll(opts, func(name string) error {
+		bOpts := opts
+		bOpts.GPU = &base
+		bRun, err := RunTiming(name, bOpts)
+		if err != nil {
+			return err
+		}
+		vOpts := opts
+		vOpts.GPU = &variant
+		vRun, err := RunTiming(name, vOpts)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, AblationRow{
+			Name:              name,
+			Category:          bRun.Workload.Category,
+			BaseCycles:        bRun.Cycles,
+			VariantCycles:     vRun.Cycles,
+			BaseL1Hit:         l1HitRatio(bRun.Col),
+			VariantL1Hit:      l1HitRatio(vRun.Col),
+			BaseTurnaround:    meanTurnaround(bRun.Col),
+			VariantTurnaround: meanTurnaround(vRun.Col),
+		})
+		return nil
+	})
+	return rows, err
+}

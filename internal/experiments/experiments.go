@@ -1,0 +1,185 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: it runs the fifteen workloads on the functional emulator
+// (whole-application statistics: Table I, Fig 1, 2, 9, 10, 11, 12) and on
+// the timing simulator (microarchitectural statistics: Fig 3, 4, 5, 6, 7, 8),
+// and exposes one generator per artifact.
+package experiments
+
+import (
+	"fmt"
+
+	"critload/internal/dataflow"
+	"critload/internal/emu"
+	"critload/internal/gpu"
+	"critload/internal/sm"
+	"critload/internal/stats"
+	"critload/internal/workloads"
+)
+
+// Options configures an experiment sweep.
+type Options struct {
+	// Workloads to run; empty = all fifteen.
+	Workloads []string
+	// Size overrides each workload's default problem size (0 = default).
+	Size int
+	// Seed drives input generation.
+	Seed int64
+	// MaxWarpInsts bounds each timing run, mirroring the paper's
+	// first-billion-instructions simulation window (0 = run to completion).
+	MaxWarpInsts uint64
+	// GPU is the device configuration for timing runs; zero value = Table II.
+	GPU *gpu.Config
+	// Tracer, when non-nil, receives every completed memory request of
+	// timing runs (see the trace package).
+	Tracer sm.Tracer
+}
+
+func (o Options) names() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return workloads.Names()
+}
+
+func (o Options) gpuConfig() gpu.Config {
+	if o.GPU != nil {
+		return *o.GPU
+	}
+	cfg := gpu.DefaultConfig()
+	cfg.MaxCycles = 500_000_000
+	return cfg
+}
+
+// Run bundles the statistics of one workload execution.
+type Run struct {
+	Workload *workloads.Workload
+	Instance *workloads.Instance
+	Col      *stats.Collector
+	Cycles   int64
+}
+
+// Suite caches one functional and one timing run per workload so that the
+// table/figure generators sharing it run each application once, the way one
+// profiling session feeds many plots in the paper.
+type Suite struct {
+	Opts Options
+	fn   map[string]*Run
+	tm   map[string]*Run
+}
+
+// NewSuite builds an empty suite over the given options.
+func NewSuite(opts Options) *Suite {
+	return &Suite{Opts: opts, fn: map[string]*Run{}, tm: map[string]*Run{}}
+}
+
+// Functional returns the cached functional run of a workload, executing it
+// on first use.
+func (s *Suite) Functional(name string) (*Run, error) {
+	if r, ok := s.fn[name]; ok {
+		return r, nil
+	}
+	r, err := RunFunctional(name, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	s.fn[name] = r
+	return r, nil
+}
+
+// Timing returns the cached timing run of a workload, executing it on first
+// use.
+func (s *Suite) Timing(name string) (*Run, error) {
+	if r, ok := s.tm[name]; ok {
+		return r, nil
+	}
+	r, err := RunTiming(name, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	s.tm[name] = r
+	return r, nil
+}
+
+// classifiers builds a per-kernel classifier map for an instance.
+func classifiers(inst *workloads.Instance) map[string]stats.Classifier {
+	out := make(map[string]stats.Classifier, len(inst.Prog.Kernels))
+	for _, k := range inst.Prog.Kernels {
+		res := dataflow.Classify(k)
+		out[k.Name] = func(pc uint32) bool {
+			li, ok := res.Load(int(pc) / 8)
+			return ok && li.Class == dataflow.NonDeterministic
+		}
+	}
+	return out
+}
+
+// RunFunctional executes a workload on the functional emulator, collecting
+// whole-application statistics. MaxWarpInsts is deliberately ignored here:
+// the paper's profiler-based measurements cover complete runs, and the
+// functional figures (Table I, Fig 1-2, 9-12) depend on full coverage.
+func RunFunctional(name string, opts Options) (*Run, error) {
+	w, ok := workloads.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	inst, err := w.Setup(workloads.Params{Size: opts.Size, Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s setup: %w", name, err)
+	}
+	col := stats.New()
+	class := classifiers(inst)
+	var current stats.Classifier
+	listener := func(ctaID int, warp *emu.Warp, s *emu.Step) {
+		col.ObserveStep(ctaID, s, current)
+	}
+	inner := workloads.FunctionalExecutor(inst.Mem, listener, 0)
+	exec := func(l *emu.Launch) error {
+		current = class[l.Kernel.Name]
+		return inner(l)
+	}
+	if err := inst.Run(exec); err != nil {
+		return nil, fmt.Errorf("experiments: %s run: %w", name, err)
+	}
+	return &Run{Workload: w, Instance: inst, Col: col}, nil
+}
+
+// RunTiming executes a workload on the cycle-level GPU simulator. When the
+// warp-instruction budget is exhausted, remaining launches are skipped (the
+// statistics window closes, exactly like the paper's bounded GPGPU-Sim runs).
+func RunTiming(name string, opts Options) (*Run, error) {
+	w, ok := workloads.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	inst, err := w.Setup(workloads.Params{Size: opts.Size, Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s setup: %w", name, err)
+	}
+	col := stats.New()
+	cfg := opts.gpuConfig()
+	cfg.MaxWarpInsts = opts.MaxWarpInsts
+	g := gpu.MustNew(cfg, inst.Mem, col)
+	if opts.Tracer != nil {
+		g.SetTracer(opts.Tracer)
+	}
+	exec := func(l *emu.Launch) error {
+		if opts.MaxWarpInsts > 0 && col.WarpInsts >= opts.MaxWarpInsts {
+			return nil // budget exhausted: close the measurement window
+		}
+		return g.LaunchKernel(l)
+	}
+	if err := inst.Run(exec); err != nil {
+		return nil, fmt.Errorf("experiments: %s timing run: %w", name, err)
+	}
+	return &Run{Workload: w, Instance: inst, Col: col, Cycles: g.Cycle()}, nil
+}
+
+// runAll maps fn over the selected workloads.
+func runAll(opts Options, fn func(name string) error) error {
+	for _, name := range opts.names() {
+		if err := fn(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

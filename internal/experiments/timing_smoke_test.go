@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"critload/internal/stats"
+)
+
+// timingSmokeSizes picks small problem sizes so every workload's complete
+// timing run stays fast.
+var timingSmokeSizes = map[string]int{
+	"2mm": 32, "gaus": 24, "grm": 24, "lu": 24, "spmv": 1024,
+	"htw": 32, "mriq": 256, "dwt": 64, "bpr": 512, "srad": 32,
+	"bfs": 1024, "sssp": 512, "ccl": 512, "mst": 256, "mis": 512,
+}
+
+// TestTimingSmokeAllWorkloads runs every workload end to end on the timing
+// simulator: all fifteen must complete (barriers, atomics, host loops and
+// divergence all work under the cycle-level model) and produce load
+// statistics.
+func TestTimingSmokeAllWorkloads(t *testing.T) {
+	for name, size := range timingSmokeSizes {
+		name, size := name, size
+		t.Run(name, func(t *testing.T) {
+			r, err := RunTiming(name, Options{Size: size, Seed: 5})
+			if err != nil {
+				t.Fatalf("RunTiming: %v", err)
+			}
+			if r.Cycles == 0 {
+				t.Fatalf("no cycles simulated")
+			}
+			loads := r.Col.GLoadWarps[stats.Det] + r.Col.GLoadWarps[stats.NonDet]
+			if loads == 0 {
+				t.Errorf("no global loads recorded")
+			}
+			if r.Col.Turnaround[stats.Det].Ops+r.Col.Turnaround[stats.NonDet].Ops == 0 {
+				t.Errorf("no turnarounds recorded")
+			}
+			// Complete runs leave functionally correct results behind.
+			if err := r.Instance.Verify(); err != nil {
+				t.Errorf("verify after timing run: %v", err)
+			}
+		})
+	}
+}

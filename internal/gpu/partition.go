@@ -1,0 +1,118 @@
+package gpu
+
+import (
+	"critload/internal/cache"
+	"critload/internal/dram"
+	"critload/internal/icnt"
+	"critload/internal/memreq"
+	"critload/internal/stats"
+)
+
+// partition is one memory partition: an L2 cache slice backed by one DRAM
+// channel, fed by the request network and answering on the reply network.
+type partition struct {
+	id  int
+	g   *GPU
+	l2  *cache.Cache
+	ch  *dram.Controller
+	inQ []*memreq.Request // requests delivered by the request network
+
+	// L2 hits completing after the L2 latency.
+	hitQ []timedReq
+	// Responses waiting to enter the reply network.
+	replyQ []*memreq.Request
+}
+
+type timedReq struct {
+	at  int64
+	req *memreq.Request
+}
+
+func newPartition(id int, g *GPU) *partition {
+	p := &partition{id: id, g: g, l2: cache.MustNew(g.cfg.L2)}
+	p.ch = dram.MustNew(g.cfg.DRAM, p.dramDone)
+	return p
+}
+
+// receive accepts a packet delivered by the request network.
+func (p *partition) receive(r *memreq.Request) {
+	p.inQ = append(p.inQ, r)
+}
+
+// dramDone handles a completed DRAM read: fill the L2 and queue replies for
+// every merged request.
+func (p *partition) dramDone(r *memreq.Request, now int64) {
+	targets := p.l2.Fill(r.Block, now)
+	for _, t := range targets {
+		t.DoneL2 = now
+		if t.Serviced == memreq.LvlNone {
+			t.Serviced = memreq.LvlDRAM
+		}
+		p.replyQ = append(p.replyQ, t)
+	}
+}
+
+// step advances the partition one cycle.
+func (p *partition) step(now int64) {
+	p.ch.Step(now)
+
+	// L2 hits whose latency elapsed become replies.
+	kept := p.hitQ[:0]
+	for _, e := range p.hitQ {
+		if e.at > now {
+			kept = append(kept, e)
+			continue
+		}
+		e.req.DoneL2 = now
+		p.replyQ = append(p.replyQ, e.req)
+	}
+	p.hitQ = kept
+
+	// Inject one reply per cycle into the reply network.
+	if len(p.replyQ) > 0 {
+		r := p.replyQ[0]
+		if p.g.replyNet.Inject(p.id, r.SM, r, icnt.DataFlits, now) {
+			p.replyQ = p.replyQ[1:]
+		}
+	}
+
+	// Service one incoming request per cycle (head of line; reservation
+	// failures leave it in place for retry).
+	if len(p.inQ) == 0 {
+		return
+	}
+	r := p.inQ[0]
+	if r.Kind == memreq.Store {
+		// Write-through: stores go straight to the DRAM channel.
+		if p.ch.CanAccept() {
+			p.ch.Enqueue(r, now)
+			p.inQ = p.inQ[1:]
+		}
+		return
+	}
+	inject := func() bool {
+		if !p.ch.CanAccept() {
+			return false
+		}
+		p.ch.Enqueue(r, now)
+		return true
+	}
+	outcome := p.l2.Access(r, now, inject)
+	if r.Kind == memreq.Load && !r.Prefetch {
+		p.g.Col.RecordL2Outcome(stats.CatOf(r.NonDet), outcome, p.id)
+	}
+	if !outcome.Accepted() {
+		return // retry next cycle
+	}
+	if outcome == cache.Hit {
+		r.Serviced = memreq.LvlL2
+		p.hitQ = append(p.hitQ, timedReq{at: now + p.g.cfg.L2.HitLatency, req: r})
+	}
+	p.inQ = p.inQ[1:]
+}
+
+// idle reports whether the partition has no in-flight work.
+func (p *partition) idle() bool {
+	return len(p.inQ) == 0 && len(p.hitQ) == 0 && len(p.replyQ) == 0 &&
+		p.ch.Pending() == 0 && p.l2.PendingMisses() == 0
+}

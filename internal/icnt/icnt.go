@@ -1,0 +1,151 @@
+// Package icnt models the on-chip interconnection network between the SMs
+// and the memory partitions: finite per-source input buffers (whose
+// exhaustion is the paper's "reservation fail by interconnection"), a fixed
+// traversal latency, flit-serialized transfers, and per-port bandwidth of one
+// packet in flight at a time. Two instances are used: the request network
+// (SM → partition) and the reply network (partition → SM).
+package icnt
+
+import (
+	"fmt"
+
+	"critload/internal/memreq"
+)
+
+// Config sizes one network instance.
+type Config struct {
+	Latency       int64 // traversal latency in cycles
+	InputQueueCap int   // per-source input buffer slots
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Latency < 0 || c.InputQueueCap <= 0 {
+		return fmt.Errorf("icnt: bad config %+v", c)
+	}
+	return nil
+}
+
+// ControlFlits is the size of an address-only packet (read request).
+const ControlFlits = 1
+
+// DataFlits is the size of a packet carrying one 128-byte block (read reply
+// or write request).
+const DataFlits = 4
+
+// Packet is one message in flight.
+type Packet struct {
+	Req     *memreq.Request
+	Src     int
+	Dst     int
+	Flits   int64
+	readyAt int64 // earliest delivery cycle (injection + latency)
+}
+
+// DeliverFunc receives a packet at its destination.
+type DeliverFunc func(p *Packet, now int64)
+
+// Network is a crossbar-style network with per-source FIFO input buffers.
+type Network struct {
+	cfg     Config
+	numSrc  int
+	numDst  int
+	queues  [][]*Packet
+	srcBusy []int64 // source port transmitting until this cycle
+	dstBusy []int64 // destination port receiving until this cycle
+	rr      int     // round-robin arbitration start
+	deliver DeliverFunc
+
+	// Statistics.
+	Injected   uint64
+	Delivered  uint64
+	TotalDelay int64 // accumulated (deliver - inject - latency) queueing delay
+}
+
+// New builds a network delivering packets via the given callback.
+func New(numSrc, numDst int, cfg Config, deliver DeliverFunc) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numSrc <= 0 || numDst <= 0 {
+		return nil, fmt.Errorf("icnt: bad port counts %d×%d", numSrc, numDst)
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("icnt: nil deliver callback")
+	}
+	return &Network{
+		cfg: cfg, numSrc: numSrc, numDst: numDst,
+		queues:  make([][]*Packet, numSrc),
+		srcBusy: make([]int64, numSrc),
+		dstBusy: make([]int64, numDst),
+		deliver: deliver,
+	}, nil
+}
+
+// MustNew builds a network or panics; for static configurations.
+func MustNew(numSrc, numDst int, cfg Config, deliver DeliverFunc) *Network {
+	n, err := New(numSrc, numDst, cfg, deliver)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// CanInject reports whether source src has a free input-buffer slot. This is
+// the check behind the cache's RsrvFailICNT outcome.
+func (n *Network) CanInject(src int) bool {
+	return len(n.queues[src]) < n.cfg.InputQueueCap
+}
+
+// Inject enqueues a packet; it returns false when the input buffer is full.
+func (n *Network) Inject(src, dst int, req *memreq.Request, flits int64, now int64) bool {
+	if !n.CanInject(src) {
+		return false
+	}
+	if dst < 0 || dst >= n.numDst {
+		panic(fmt.Sprintf("icnt: bad destination %d", dst))
+	}
+	n.queues[src] = append(n.queues[src], &Packet{
+		Req: req, Src: src, Dst: dst, Flits: flits,
+		readyAt: now + n.cfg.Latency,
+	})
+	n.Injected++
+	return true
+}
+
+// Step advances the network one cycle: every source may deliver its head
+// packet when its transmit port, the packet's destination port, and the
+// traversal latency all allow it. Head-of-line blocking is intentional.
+func (n *Network) Step(now int64) {
+	for i := 0; i < n.numSrc; i++ {
+		src := (n.rr + i) % n.numSrc
+		q := n.queues[src]
+		if len(q) == 0 {
+			continue
+		}
+		p := q[0]
+		if p.readyAt > now || n.srcBusy[src] > now || n.dstBusy[p.Dst] > now {
+			continue
+		}
+		n.queues[src] = q[1:]
+		n.srcBusy[src] = now + p.Flits
+		n.dstBusy[p.Dst] = now + p.Flits
+		n.Delivered++
+		n.TotalDelay += now - p.readyAt
+		n.deliver(p, now)
+	}
+	n.rr = (n.rr + 1) % n.numSrc
+}
+
+// Pending returns the total number of queued packets, a quiescence check for
+// the simulation main loop and tests.
+func (n *Network) Pending() int {
+	total := 0
+	for _, q := range n.queues {
+		total += len(q)
+	}
+	return total
+}
+
+// QueueLen returns the occupancy of one source queue.
+func (n *Network) QueueLen(src int) int { return len(n.queues[src]) }

@@ -1,0 +1,82 @@
+package icnt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"critload/internal/memreq"
+)
+
+// Property: under random injection patterns, the network conserves packets
+// (injected = delivered + pending), never delivers before inject+latency,
+// and per-source delivery order is FIFO.
+func TestQuickNetworkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Latency:       int64(rng.Intn(16)),
+			InputQueueCap: 1 + rng.Intn(8),
+		}
+		numSrc := 1 + rng.Intn(6)
+		numDst := 1 + rng.Intn(6)
+
+		type stamp struct {
+			src      int
+			id       uint64
+			injected int64
+		}
+		var delivered []stamp
+		n := MustNew(numSrc, numDst, cfg, func(p *Packet, now int64) {
+			delivered = append(delivered, stamp{src: p.Src, id: p.Req.ID})
+		})
+
+		injectTimes := map[uint64]int64{}
+		var nextID uint64
+		for cyc := int64(0); cyc < 300; cyc++ {
+			// Random injections this cycle.
+			for tries := rng.Intn(4); tries > 0; tries-- {
+				src := rng.Intn(numSrc)
+				if !n.CanInject(src) {
+					continue
+				}
+				nextID++
+				r := &memreq.Request{ID: nextID}
+				if n.Inject(src, rng.Intn(numDst), r, int64(1+rng.Intn(4)), cyc) {
+					injectTimes[r.ID] = cyc
+				}
+			}
+			before := len(delivered)
+			n.Step(cyc)
+			// Latency respected: everything delivered this cycle was
+			// injected at least Latency cycles ago.
+			for _, d := range delivered[before:] {
+				if cyc-injectTimes[d.id] < cfg.Latency {
+					return false
+				}
+			}
+		}
+		// Drain.
+		for cyc := int64(300); cyc < 1000 && n.Pending() > 0; cyc++ {
+			n.Step(cyc)
+		}
+		if n.Pending() != 0 {
+			return false
+		}
+		if uint64(len(delivered)) != n.Delivered || n.Injected != n.Delivered {
+			return false
+		}
+		// FIFO per source.
+		lastID := make(map[int]uint64)
+		for _, d := range delivered {
+			if d.id <= lastID[d.src] {
+				return false
+			}
+			lastID[d.src] = d.id
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,561 @@
+// Package isa defines the PTX-subset instruction set used by the load
+// classifier and the GPU simulator. The subset keeps the address-producing
+// instruction classes the IISWC'15 paper keys on — ld.param, special
+// registers (thread/CTA ids and dimensions), and the data-load family
+// (ld.global / ld.shared / ld.local) — plus enough integer, floating-point
+// and control-flow operations to express the fifteen benchmark kernels.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Opcode enumerates the operations of the PTX subset.
+type Opcode uint8
+
+// Opcode values. Arithmetic opcodes are type-polymorphic: the instruction's
+// DType selects integer versus floating-point semantics.
+const (
+	OpNop Opcode = iota
+	OpMov
+	OpAdd
+	OpSub
+	OpMul   // low 32 bits for integers
+	OpMulHi // high 32 bits of the 64-bit product
+	OpMad   // d = a*b + c (low 32 bits for integers)
+	OpDiv
+	OpRem
+	OpMin
+	OpMax
+	OpAbs
+	OpNeg
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpShl
+	OpShr
+	OpSetp // set predicate from comparison
+	OpSelp // select by predicate
+	OpCvt  // convert between types
+	// Special-function-unit operations (transcendentals).
+	OpSqrt
+	OpRsqrt
+	OpRcp
+	OpSin
+	OpCos
+	OpEx2
+	OpLg2
+	// Memory operations.
+	OpLd
+	OpSt
+	OpAtom
+	// Control flow.
+	OpBra
+	OpBar // bar.sync
+	OpExit
+	OpRet
+
+	numOpcodes
+)
+
+var opcodeNames = [numOpcodes]string{
+	OpNop: "nop", OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpMulHi: "mul.hi", OpMad: "mad", OpDiv: "div", OpRem: "rem",
+	OpMin: "min", OpMax: "max", OpAbs: "abs", OpNeg: "neg",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not",
+	OpShl: "shl", OpShr: "shr", OpSetp: "setp", OpSelp: "selp",
+	OpCvt: "cvt", OpSqrt: "sqrt", OpRsqrt: "rsqrt", OpRcp: "rcp",
+	OpSin: "sin", OpCos: "cos", OpEx2: "ex2", OpLg2: "lg2",
+	OpLd: "ld", OpSt: "st", OpAtom: "atom",
+	OpBra: "bra", OpBar: "bar.sync", OpExit: "exit", OpRet: "ret",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsSFU reports whether the opcode executes on the special function unit.
+func (o Opcode) IsSFU() bool {
+	switch o {
+	case OpSqrt, OpRsqrt, OpRcp, OpSin, OpCos, OpEx2, OpLg2:
+		return true
+	}
+	return false
+}
+
+// IsMemory reports whether the opcode is a memory operation (executes on the
+// LD/ST unit).
+func (o Opcode) IsMemory() bool {
+	return o == OpLd || o == OpSt || o == OpAtom
+}
+
+// IsControl reports whether the opcode affects control flow.
+func (o Opcode) IsControl() bool {
+	return o == OpBra || o == OpExit || o == OpRet
+}
+
+// DType is the data type qualifier of an instruction (.u32, .s32, .f32, ...).
+type DType uint8
+
+// DType values.
+const (
+	U32 DType = iota
+	S32
+	F32
+	B32 // untyped 32-bit bits
+	Pred
+	numDTypes
+)
+
+var dtypeNames = [numDTypes]string{U32: "u32", S32: "s32", F32: "f32", B32: "b32", Pred: "pred"}
+
+func (t DType) String() string {
+	if int(t) < len(dtypeNames) {
+		return dtypeNames[t]
+	}
+	return fmt.Sprintf("t(%d)", uint8(t))
+}
+
+// Float reports whether the type has floating-point semantics.
+func (t DType) Float() bool { return t == F32 }
+
+// Signed reports whether the type has signed integer semantics.
+func (t DType) Signed() bool { return t == S32 }
+
+// MemSpace is the state space of a memory operation.
+type MemSpace uint8
+
+// Memory spaces. SpaceNone marks non-memory instructions.
+const (
+	SpaceNone MemSpace = iota
+	SpaceGlobal
+	SpaceShared
+	SpaceLocal
+	SpaceConst
+	SpaceParam
+	SpaceTex
+	numSpaces
+)
+
+var spaceNames = [numSpaces]string{
+	SpaceNone: "", SpaceGlobal: "global", SpaceShared: "shared",
+	SpaceLocal: "local", SpaceConst: "const", SpaceParam: "param",
+	SpaceTex: "tex",
+}
+
+func (s MemSpace) String() string {
+	if int(s) < len(spaceNames) {
+		return spaceNames[s]
+	}
+	return fmt.Sprintf("space(%d)", uint8(s))
+}
+
+// IsDataLoadSpace reports whether a load from this space taints dataflow as
+// non-deterministic per the paper's classification rule (ld.global, ld.local,
+// ld.shared, ld.tex make the consumer non-deterministic; ld.param and
+// ld.const do not).
+func (s MemSpace) IsDataLoadSpace() bool {
+	switch s {
+	case SpaceGlobal, SpaceShared, SpaceLocal, SpaceTex:
+		return true
+	}
+	return false
+}
+
+// CmpOp is the comparison operator of a setp instruction.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	numCmps
+)
+
+var cmpNames = [numCmps]string{CmpEQ: "eq", CmpNE: "ne", CmpLT: "lt", CmpLE: "le", CmpGT: "gt", CmpGE: "ge"}
+
+func (c CmpOp) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("cmp(%d)", uint8(c))
+}
+
+// AtomOp is the operation of an atomic instruction.
+type AtomOp uint8
+
+// Atomic operations.
+const (
+	AtomAdd AtomOp = iota
+	AtomMin
+	AtomMax
+	AtomExch
+	AtomCAS
+	AtomOr
+	AtomAnd
+	numAtoms
+)
+
+var atomNames = [numAtoms]string{AtomAdd: "add", AtomMin: "min", AtomMax: "max", AtomExch: "exch", AtomCAS: "cas", AtomOr: "or", AtomAnd: "and"}
+
+func (a AtomOp) String() string {
+	if int(a) < len(atomNames) {
+		return atomNames[a]
+	}
+	return fmt.Sprintf("atom(%d)", uint8(a))
+}
+
+// SpecialReg identifies a read-only special register. All special registers
+// are parameterized values in the paper's sense: they are fixed when a CTA is
+// scheduled and never depend on loaded data.
+type SpecialReg uint8
+
+// Special registers.
+const (
+	SrTidX SpecialReg = iota
+	SrTidY
+	SrTidZ
+	SrNTidX
+	SrNTidY
+	SrNTidZ
+	SrCtaIdX
+	SrCtaIdY
+	SrCtaIdZ
+	SrNCtaIdX
+	SrNCtaIdY
+	SrNCtaIdZ
+	SrLaneId
+	SrWarpId
+	numSRegs
+)
+
+var sregNames = [numSRegs]string{
+	SrTidX: "%tid.x", SrTidY: "%tid.y", SrTidZ: "%tid.z",
+	SrNTidX: "%ntid.x", SrNTidY: "%ntid.y", SrNTidZ: "%ntid.z",
+	SrCtaIdX: "%ctaid.x", SrCtaIdY: "%ctaid.y", SrCtaIdZ: "%ctaid.z",
+	SrNCtaIdX: "%nctaid.x", SrNCtaIdY: "%nctaid.y", SrNCtaIdZ: "%nctaid.z",
+	SrLaneId: "%laneid", SrWarpId: "%warpid",
+}
+
+func (r SpecialReg) String() string {
+	if int(r) < len(sregNames) {
+		return sregNames[r]
+	}
+	return fmt.Sprintf("%%sr(%d)", uint8(r))
+}
+
+// SpecialRegByName resolves a special-register name such as "%tid.x".
+func SpecialRegByName(name string) (SpecialReg, bool) {
+	for i, n := range sregNames {
+		if n == name {
+			return SpecialReg(i), true
+		}
+	}
+	return 0, false
+}
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OpdNone  OperandKind = iota
+	OpdReg               // general-purpose 32-bit register %rN
+	OpdPred              // predicate register %pN
+	OpdImm               // integer immediate
+	OpdFImm              // floating-point immediate
+	OpdSReg              // special register
+	OpdMem               // memory operand [%rN + off]; Reg < 0 means absolute
+	OpdParam             // parameter reference [name + off] (ld.param only)
+)
+
+// Operand is a single instruction operand.
+type Operand struct {
+	Kind  OperandKind
+	Reg   int        // register index for OpdReg/OpdPred, base register for OpdMem (-1 = none)
+	Imm   int64      // immediate value, or byte offset for OpdMem/OpdParam
+	FImm  float64    // floating immediate for OpdFImm
+	SReg  SpecialReg // for OpdSReg
+	Param string     // parameter name for OpdParam
+}
+
+// Reg returns a register operand.
+func Reg(i int) Operand { return Operand{Kind: OpdReg, Reg: i} }
+
+// PredReg returns a predicate-register operand.
+func PredReg(i int) Operand { return Operand{Kind: OpdPred, Reg: i} }
+
+// Imm returns an integer immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: OpdImm, Imm: v} }
+
+// FImm returns a floating-point immediate operand.
+func FImm(v float64) Operand { return Operand{Kind: OpdFImm, FImm: v} }
+
+// SReg returns a special-register operand.
+func SReg(r SpecialReg) Operand { return Operand{Kind: OpdSReg, SReg: r} }
+
+// Mem returns a register-plus-offset memory operand.
+func Mem(baseReg int, off int64) Operand {
+	return Operand{Kind: OpdMem, Reg: baseReg, Imm: off}
+}
+
+// Param returns a parameter-space memory operand.
+func Param(name string, off int64) Operand {
+	return Operand{Kind: OpdParam, Reg: -1, Imm: off, Param: name}
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpdNone:
+		return "_"
+	case OpdReg:
+		return fmt.Sprintf("%%r%d", o.Reg)
+	case OpdPred:
+		return fmt.Sprintf("%%p%d", o.Reg)
+	case OpdImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case OpdFImm:
+		return fmt.Sprintf("%g", o.FImm)
+	case OpdSReg:
+		return o.SReg.String()
+	case OpdMem:
+		if o.Reg < 0 {
+			return fmt.Sprintf("[%d]", o.Imm)
+		}
+		if o.Imm != 0 {
+			return fmt.Sprintf("[%%r%d+%d]", o.Reg, o.Imm)
+		}
+		return fmt.Sprintf("[%%r%d]", o.Reg)
+	case OpdParam:
+		if o.Imm != 0 {
+			return fmt.Sprintf("[%s+%d]", o.Param, o.Imm)
+		}
+		return fmt.Sprintf("[%s]", o.Param)
+	}
+	return "?"
+}
+
+// PredGuard is the optional @%p / @!%p guard on an instruction.
+type PredGuard struct {
+	Reg    int // predicate register index; <0 means no guard
+	Negate bool
+}
+
+// NoGuard is the absent predicate guard.
+var NoGuard = PredGuard{Reg: -1}
+
+// Active reports whether a guard is present.
+func (g PredGuard) Active() bool { return g.Reg >= 0 }
+
+func (g PredGuard) String() string {
+	if !g.Active() {
+		return ""
+	}
+	if g.Negate {
+		return fmt.Sprintf("@!%%p%d ", g.Reg)
+	}
+	return fmt.Sprintf("@%%p%d ", g.Reg)
+}
+
+// InstBytes is the architectural size of one instruction; PCs advance by
+// this amount so per-PC statistics print as realistic byte addresses.
+const InstBytes = 8
+
+// Instruction is a single decoded PTX-subset instruction.
+type Instruction struct {
+	Index   int    // position within the kernel body
+	PC      uint32 // Index * InstBytes
+	Op      Opcode
+	Type    DType
+	SrcType DType    // cvt source type
+	Space   MemSpace // ld/st/atom state space
+	Cmp     CmpOp    // setp comparison
+	Atom    AtomOp   // atom operation
+	Guard   PredGuard
+	Dst     Operand
+	Dst2    Operand // second destination (atom with return not used; reserved)
+	Srcs    [3]Operand
+	NSrc    int
+	Label   string // unresolved branch target
+	Targ    int    // resolved branch target instruction index
+}
+
+// IsGlobalLoad reports whether the instruction is a load from global memory —
+// the class of instructions the paper's study restricts its classification to.
+func (in *Instruction) IsGlobalLoad() bool {
+	return in.Op == OpLd && in.Space == SpaceGlobal
+}
+
+// IsSharedLoad reports whether the instruction is a load from shared memory.
+func (in *Instruction) IsSharedLoad() bool {
+	return in.Op == OpLd && in.Space == SpaceShared
+}
+
+// IsParamLoad reports whether the instruction is an ld.param.
+func (in *Instruction) IsParamLoad() bool {
+	return in.Op == OpLd && in.Space == SpaceParam
+}
+
+// DefReg returns the general register defined by the instruction, or -1.
+func (in *Instruction) DefReg() int {
+	if in.Op == OpSt || in.Op == OpBra || in.Op == OpBar || in.Op == OpExit || in.Op == OpRet || in.Op == OpNop {
+		return -1
+	}
+	if in.Op == OpSetp {
+		return -1 // defines a predicate, not a general register
+	}
+	if in.Dst.Kind == OpdReg {
+		return in.Dst.Reg
+	}
+	return -1
+}
+
+// DefPred returns the predicate register defined, or -1.
+func (in *Instruction) DefPred() int {
+	if in.Op == OpSetp && in.Dst.Kind == OpdPred {
+		return in.Dst.Reg
+	}
+	return -1
+}
+
+// SourceRegs appends the general-purpose source register indices of the
+// instruction to dst and returns it. Memory operands contribute their base
+// register; stores contribute the stored value register.
+func (in *Instruction) SourceRegs(dst []int) []int {
+	for i := 0; i < in.NSrc; i++ {
+		s := in.Srcs[i]
+		switch s.Kind {
+		case OpdReg:
+			dst = append(dst, s.Reg)
+		case OpdMem:
+			if s.Reg >= 0 {
+				dst = append(dst, s.Reg)
+			}
+		}
+	}
+	return dst
+}
+
+// AddrReg returns the base register of the instruction's memory operand and
+// true, if the instruction is a memory operation with a register-based
+// address.
+func (in *Instruction) AddrReg() (int, bool) {
+	if !in.Op.IsMemory() {
+		return -1, false
+	}
+	var m Operand
+	if in.Op == OpLd || in.Op == OpAtom {
+		m = in.Srcs[0]
+	} else { // store: [addr], value
+		m = in.Srcs[0]
+	}
+	if m.Kind == OpdMem && m.Reg >= 0 {
+		return m.Reg, true
+	}
+	return -1, false
+}
+
+// String disassembles the instruction.
+func (in *Instruction) String() string {
+	var b strings.Builder
+	b.WriteString(in.Guard.String())
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case OpLd, OpSt, OpAtom:
+		b.WriteString(".")
+		b.WriteString(in.Space.String())
+		if in.Op == OpAtom {
+			b.WriteString(".")
+			b.WriteString(in.Atom.String())
+		}
+		b.WriteString(".")
+		b.WriteString(in.Type.String())
+	case OpSetp:
+		b.WriteString(".")
+		b.WriteString(in.Cmp.String())
+		b.WriteString(".")
+		b.WriteString(in.Type.String())
+	case OpCvt:
+		b.WriteString(".")
+		b.WriteString(in.Type.String())
+		b.WriteString(".")
+		b.WriteString(in.SrcType.String())
+	case OpBra, OpBar, OpExit, OpRet, OpNop:
+		// no type suffix
+	default:
+		b.WriteString(".")
+		b.WriteString(in.Type.String())
+	}
+	first := true
+	writeOpd := func(o Operand) {
+		if o.Kind == OpdNone {
+			return
+		}
+		if first {
+			b.WriteString(" ")
+			first = false
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(o.String())
+	}
+	writeOpd(in.Dst)
+	for i := 0; i < in.NSrc; i++ {
+		writeOpd(in.Srcs[i])
+	}
+	if in.Op == OpBra {
+		if first {
+			b.WriteString(" ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(in.Label)
+	}
+	return b.String()
+}
+
+// FuncUnit identifies the execution unit an instruction dispatches to.
+type FuncUnit uint8
+
+// Function units within an SM.
+const (
+	UnitSP FuncUnit = iota
+	UnitSFU
+	UnitLDST
+	NumFuncUnits
+)
+
+var unitNames = [NumFuncUnits]string{UnitSP: "SP", UnitSFU: "SFU", UnitLDST: "LD/ST"}
+
+func (u FuncUnit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("unit(%d)", uint8(u))
+}
+
+// Unit returns the function unit the instruction executes on.
+func (in *Instruction) Unit() FuncUnit {
+	switch {
+	case in.Op.IsMemory():
+		return UnitLDST
+	case in.Op.IsSFU():
+		return UnitSFU
+	case in.Op == OpDiv || in.Op == OpRem:
+		if in.Type.Float() {
+			return UnitSFU
+		}
+		return UnitSP
+	default:
+		return UnitSP
+	}
+}

@@ -1,0 +1,87 @@
+// Package memreq defines the memory request that flows through the timing
+// hierarchy (L1 → interconnect → L2 → DRAM → reply). Requests carry the
+// originating load's classification and the timestamps needed for the
+// paper's turnaround decomposition (Figures 5-7).
+package memreq
+
+import "fmt"
+
+// Kind discriminates request types.
+type Kind uint8
+
+// Request kinds.
+const (
+	Load Kind = iota
+	Store
+	Atomic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Atomic:
+		return "atomic"
+	}
+	return "?"
+}
+
+// Level records where a request was serviced.
+type Level uint8
+
+// Service levels.
+const (
+	LvlNone Level = iota
+	LvlL1
+	LvlL2
+	LvlDRAM
+)
+
+func (l Level) String() string {
+	switch l {
+	case LvlL1:
+		return "L1"
+	case LvlL2:
+		return "L2"
+	case LvlDRAM:
+		return "DRAM"
+	}
+	return "none"
+}
+
+// Request is one coalesced 128-byte block access in flight.
+type Request struct {
+	ID        uint64
+	Block     uint32 // 128-byte-aligned address
+	Kind      Kind
+	SM        int
+	Partition int    // destination memory partition
+	PC        uint32 // originating instruction PC
+	Kernel    string // originating kernel (for per-PC statistics)
+	NonDet    bool   // classification of the originating global load
+	Lanes     int    // number of lanes merged into this request
+	// BypassL1 marks requests routed around the L1 (the Section X.A
+	// instruction-specific optimization for non-deterministic loads); their
+	// replies complete directly instead of filling an L1 line.
+	BypassL1 bool
+	// Prefetch marks speculative next-line requests; they are excluded from
+	// the demand-access statistics.
+	Prefetch bool
+
+	// Timestamps, in core cycles. A zero value means "not reached".
+	Issued       int64 // warp op dispatched to the LD/ST unit
+	AcceptedL1   int64 // L1 accepted the access (hit or miss reservation)
+	InjectedICNT int64 // miss injected into the request network
+	ArrivedL2    int64 // arrived at the memory partition
+	DoneL2       int64 // response ready at the partition (L2 hit or DRAM fill)
+	Returned     int64 // response delivered back at the SM
+
+	Serviced Level
+}
+
+func (r *Request) String() string {
+	return fmt.Sprintf("req#%d %s block %#x sm%d part%d pc=0x%x nondet=%v",
+		r.ID, r.Kind, r.Block, r.SM, r.Partition, r.PC, r.NonDet)
+}

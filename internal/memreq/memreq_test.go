@@ -1,0 +1,28 @@
+package memreq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindAndLevelStrings(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" || Atomic.String() != "atomic" {
+		t.Errorf("kind strings wrong")
+	}
+	if LvlL1.String() != "L1" || LvlL2.String() != "L2" || LvlDRAM.String() != "DRAM" || LvlNone.String() != "none" {
+		t.Errorf("level strings wrong")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := &Request{
+		ID: 7, Block: 0x1000, Kind: Load, SM: 3, Partition: 2,
+		PC: 0x110, NonDet: true,
+	}
+	s := r.String()
+	for _, want := range []string{"req#7", "load", "0x1000", "sm3", "part2", "pc=0x110", "nondet=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package profiler exposes the CUDA-Visual-Profiler counters the paper lists
+// in Table III, backed by the simulator's statistics collector. It is the
+// stand-in for the hardware profiler runs on the Tesla M2050.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"critload/internal/stats"
+)
+
+// Counter names, exactly as in Table III.
+const (
+	GldRequest            = "gld_request"
+	SharedLoad            = "shared_load"
+	L1GlobalLoadHit       = "l1_global_load_hit"
+	L1GlobalLoadMiss      = "l1_global_load_miss"
+	L2Subp0ReadHitSectors = "l2_subp0_read_hit_sectors"
+	L2Subp1ReadHitSectors = "l2_subp1_read_hit_sectors"
+	L2Subp0ReadQueries    = "l2_subp0_read_sector_queries"
+	L2Subp1ReadQueries    = "l2_subp1_read_sector_queries"
+)
+
+// Descriptions reproduces Table III's counter descriptions.
+var Descriptions = map[string]string{
+	GldRequest:            "Number of executed global load instructions per warp in a SM",
+	SharedLoad:            "Number of executed shared load instructions per warp in a SM",
+	L1GlobalLoadHit:       "Number of global load hits in L1 cache",
+	L1GlobalLoadMiss:      "Number of global load misses in L1 cache",
+	L2Subp0ReadHitSectors: "Number of read requests from L1 that hit in slice 0 of L2 cache",
+	L2Subp1ReadHitSectors: "Number of read requests from L1 that hit in slice 1 of L2 cache",
+	L2Subp0ReadQueries:    "Accumulated read sector queries from L1 to L2 cache for slice 0 of all the L2 cache units",
+	L2Subp1ReadQueries:    "Accumulated read sector queries from L1 to L2 cache for slice 1 of all the L2 cache units",
+}
+
+// Names returns the counter names in Table III order.
+func Names() []string {
+	return []string{
+		GldRequest, SharedLoad, L1GlobalLoadHit, L1GlobalLoadMiss,
+		L2Subp0ReadHitSectors, L2Subp1ReadHitSectors,
+		L2Subp0ReadQueries, L2Subp1ReadQueries,
+	}
+}
+
+// Counters is one profiling session's counter values.
+type Counters map[string]uint64
+
+// Read extracts the Table III counters from a collector.
+func Read(col *stats.Collector) Counters {
+	return Counters{
+		GldRequest:            col.GLoadWarps[stats.Det] + col.GLoadWarps[stats.NonDet],
+		SharedLoad:            col.SLoadWarps,
+		L1GlobalLoadHit:       col.L1Acc[stats.Det] + col.L1Acc[stats.NonDet] - col.L1Miss[stats.Det] - col.L1Miss[stats.NonDet],
+		L1GlobalLoadMiss:      col.L1Miss[stats.Det] + col.L1Miss[stats.NonDet],
+		L2Subp0ReadHitSectors: col.L2SliceHits[0],
+		L2Subp1ReadHitSectors: col.L2SliceHits[1],
+		L2Subp0ReadQueries:    col.L2SliceQueries[0],
+		L2Subp1ReadQueries:    col.L2SliceQueries[1],
+	}
+}
+
+// String renders the counters in Table III order.
+func (c Counters) String() string {
+	var b strings.Builder
+	for _, n := range Names() {
+		fmt.Fprintf(&b, "%-30s %12d\n", n, c[n])
+	}
+	return b.String()
+}
+
+// Sorted returns (name, value) pairs sorted by name, for deterministic
+// serialization in tests and tools.
+func (c Counters) Sorted() []struct {
+	Name  string
+	Value uint64
+} {
+	out := make([]struct {
+		Name  string
+		Value uint64
+	}, 0, len(c))
+	for n, v := range c {
+		out = append(out, struct {
+			Name  string
+			Value uint64
+		}{n, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

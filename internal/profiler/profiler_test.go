@@ -1,0 +1,69 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+
+	"critload/internal/cache"
+	"critload/internal/stats"
+)
+
+func TestReadMapsCollectorToCounters(t *testing.T) {
+	col := stats.New()
+	col.GLoadWarps[stats.Det] = 10
+	col.GLoadWarps[stats.NonDet] = 5
+	col.SLoadWarps = 7
+	col.RecordL1Outcome(stats.Det, cache.Hit)
+	col.RecordL1Outcome(stats.Det, cache.Miss)
+	col.RecordL1Outcome(stats.NonDet, cache.Miss)
+	col.RecordL2Outcome(stats.Det, cache.Hit, 0)
+	col.RecordL2Outcome(stats.NonDet, cache.Miss, 1)
+
+	c := Read(col)
+	if c[GldRequest] != 15 {
+		t.Errorf("gld_request = %d, want 15", c[GldRequest])
+	}
+	if c[SharedLoad] != 7 {
+		t.Errorf("shared_load = %d", c[SharedLoad])
+	}
+	if c[L1GlobalLoadHit] != 1 || c[L1GlobalLoadMiss] != 2 {
+		t.Errorf("l1 hit/miss = %d/%d, want 1/2", c[L1GlobalLoadHit], c[L1GlobalLoadMiss])
+	}
+	if c[L2Subp0ReadHitSectors] != 1 || c[L2Subp0ReadQueries] != 1 {
+		t.Errorf("slice0 = %d/%d", c[L2Subp0ReadHitSectors], c[L2Subp0ReadQueries])
+	}
+	if c[L2Subp1ReadHitSectors] != 0 || c[L2Subp1ReadQueries] != 1 {
+		t.Errorf("slice1 = %d/%d", c[L2Subp1ReadHitSectors], c[L2Subp1ReadQueries])
+	}
+}
+
+func TestNamesMatchTableIII(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("counters = %d, want 8 (Table III)", len(names))
+	}
+	for _, n := range names {
+		if Descriptions[n] == "" {
+			t.Errorf("counter %s has no description", n)
+		}
+	}
+}
+
+func TestStringAndSorted(t *testing.T) {
+	c := Read(stats.New())
+	s := c.String()
+	for _, n := range Names() {
+		if !strings.Contains(s, n) {
+			t.Errorf("String() missing %s", n)
+		}
+	}
+	sorted := c.Sorted()
+	if len(sorted) != 8 {
+		t.Fatalf("Sorted = %d entries", len(sorted))
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Name >= sorted[i].Name {
+			t.Errorf("Sorted not ordered at %d", i)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package ptx
+
+import (
+	"fmt"
+
+	"critload/internal/isa"
+)
+
+// Builder constructs kernels programmatically, as an alternative to the
+// textual assembler. It is the natural front end for generated kernels
+// (tests, fuzzing, tooling); Build resolves labels and validates exactly
+// like Parse does.
+type Builder struct {
+	k       *Kernel
+	pending []string
+	err     error
+}
+
+// NewBuilder starts a kernel with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{k: &Kernel{Name: name, Labels: map[string]int{}}}
+}
+
+// Param declares the next kernel parameter.
+func (b *Builder) Param(name string, t isa.DType) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.k.ParamOffset(name); dup {
+		b.err = fmt.Errorf("ptx: duplicate param %q", name)
+		return b
+	}
+	b.k.Params = append(b.k.Params, ParamDecl{
+		Name: name, Type: t, Offset: len(b.k.Params) * ParamSize,
+	})
+	return b
+}
+
+// Shared declares the kernel's static shared-memory size.
+func (b *Builder) Shared(bytes int) *Builder {
+	b.k.SharedBytes = bytes
+	return b
+}
+
+// Label marks the next emitted instruction.
+func (b *Builder) Label(name string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.k.Labels[name]; dup {
+		b.err = fmt.Errorf("ptx: duplicate label %q", name)
+		return b
+	}
+	for _, p := range b.pending {
+		if p == name {
+			b.err = fmt.Errorf("ptx: duplicate label %q", name)
+			return b
+		}
+	}
+	b.pending = append(b.pending, name)
+	return b
+}
+
+// emit appends an instruction, binding pending labels.
+func (b *Builder) emit(in *isa.Instruction) *Builder {
+	if b.err != nil {
+		return b
+	}
+	idx := len(b.k.Insts)
+	in.Index = idx
+	in.PC = uint32(idx * isa.InstBytes)
+	for _, l := range b.pending {
+		b.k.Labels[l] = idx
+	}
+	b.pending = b.pending[:0]
+	b.k.Insts = append(b.k.Insts, in)
+	return b
+}
+
+// inst assembles a generic instruction.
+func inst(op isa.Opcode, t isa.DType, dst isa.Operand, srcs ...isa.Operand) *isa.Instruction {
+	in := &isa.Instruction{Op: op, Type: t, Dst: dst, Guard: isa.NoGuard, Targ: -1}
+	copy(in.Srcs[:], srcs)
+	in.NSrc = len(srcs)
+	return in
+}
+
+// Op emits a typed ALU instruction (mov/add/mul/...; dst first).
+func (b *Builder) Op(op isa.Opcode, t isa.DType, dst isa.Operand, srcs ...isa.Operand) *Builder {
+	return b.emit(inst(op, t, dst, srcs...))
+}
+
+// GuardedOp emits an ALU instruction under a predicate guard.
+func (b *Builder) GuardedOp(pred int, negate bool, op isa.Opcode, t isa.DType, dst isa.Operand, srcs ...isa.Operand) *Builder {
+	in := inst(op, t, dst, srcs...)
+	in.Guard = isa.PredGuard{Reg: pred, Negate: negate}
+	return b.emit(in)
+}
+
+// Ld emits a load from the given state space.
+func (b *Builder) Ld(space isa.MemSpace, t isa.DType, dst isa.Operand, addr isa.Operand) *Builder {
+	in := inst(isa.OpLd, t, dst, addr)
+	in.Space = space
+	return b.emit(in)
+}
+
+// LdParam emits an ld.param of a declared parameter.
+func (b *Builder) LdParam(dst isa.Operand, param string) *Builder {
+	in := inst(isa.OpLd, isa.U32, dst, isa.Param(param, 0))
+	in.Space = isa.SpaceParam
+	return b.emit(in)
+}
+
+// St emits a store to the given state space.
+func (b *Builder) St(space isa.MemSpace, t isa.DType, addr, val isa.Operand) *Builder {
+	in := inst(isa.OpSt, t, isa.Operand{}, addr, val)
+	in.Space = space
+	return b.emit(in)
+}
+
+// Atom emits a global atomic.
+func (b *Builder) Atom(op isa.AtomOp, t isa.DType, dst, addr isa.Operand, srcs ...isa.Operand) *Builder {
+	in := inst(isa.OpAtom, t, dst, append([]isa.Operand{addr}, srcs...)...)
+	in.Space = isa.SpaceGlobal
+	in.Atom = op
+	return b.emit(in)
+}
+
+// Setp emits a predicate-setting comparison.
+func (b *Builder) Setp(cmp isa.CmpOp, t isa.DType, dst int, a, bb isa.Operand) *Builder {
+	in := inst(isa.OpSetp, t, isa.PredReg(dst), a, bb)
+	in.Cmp = cmp
+	return b.emit(in)
+}
+
+// Bra emits an unconditional branch to a label.
+func (b *Builder) Bra(label string) *Builder {
+	in := inst(isa.OpBra, isa.U32, isa.Operand{})
+	in.Label = label
+	return b.emit(in)
+}
+
+// BraIf emits a branch guarded by predicate register pred (negated when
+// negate is true).
+func (b *Builder) BraIf(pred int, negate bool, label string) *Builder {
+	in := inst(isa.OpBra, isa.U32, isa.Operand{})
+	in.Label = label
+	in.Guard = isa.PredGuard{Reg: pred, Negate: negate}
+	return b.emit(in)
+}
+
+// Bar emits a bar.sync.
+func (b *Builder) Bar() *Builder {
+	return b.emit(inst(isa.OpBar, isa.U32, isa.Operand{}))
+}
+
+// Exit emits an exit.
+func (b *Builder) Exit() *Builder {
+	return b.emit(inst(isa.OpExit, isa.U32, isa.Operand{}))
+}
+
+// Build resolves branch targets, computes register counts and validates the
+// kernel.
+func (b *Builder) Build() (*Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.pending) > 0 {
+		return nil, fmt.Errorf("ptx: labels %v at end of kernel", b.pending)
+	}
+	k := b.k
+	for i, in := range k.Insts {
+		if in.Op == isa.OpBra {
+			t, ok := k.Labels[in.Label]
+			if !ok {
+				return nil, fmt.Errorf("ptx: undefined label %q (inst %d)", in.Label, i)
+			}
+			in.Targ = t
+		}
+		bump := func(o isa.Operand) {
+			switch o.Kind {
+			case isa.OpdReg:
+				if o.Reg+1 > k.NumRegs {
+					k.NumRegs = o.Reg + 1
+				}
+			case isa.OpdPred:
+				if o.Reg+1 > k.NumPreds {
+					k.NumPreds = o.Reg + 1
+				}
+			case isa.OpdMem:
+				if o.Reg >= 0 && o.Reg+1 > k.NumRegs {
+					k.NumRegs = o.Reg + 1
+				}
+			}
+		}
+		bump(in.Dst)
+		for s := 0; s < in.NSrc; s++ {
+			bump(in.Srcs[s])
+		}
+		if in.Guard.Active() && in.Guard.Reg+1 > k.NumPreds {
+			k.NumPreds = in.Guard.Reg + 1
+		}
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustBuild builds or panics; for compile-time-constant kernels.
+func (b *Builder) MustBuild() *Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

@@ -1,0 +1,102 @@
+package ptx
+
+import (
+	"testing"
+
+	"critload/internal/isa"
+)
+
+// TestBuilderEquivalentToParser constructs the same kernel through both
+// front ends and compares the disassembly.
+func TestBuilderEquivalentToParser(t *testing.T) {
+	parsed, err := Parse(`
+.kernel gather
+.param .u32 a
+    mov.u32      %r0, %tid.x;
+    shl.u32      %r1, %r0, 2;
+    ld.param.u32 %r2, [a];
+    add.u32      %r3, %r2, %r1;
+    ld.global.u32 %r4, [%r3];
+    setp.lt.u32  %p0, %r4, 10;
+@%p0 bra SKIP;
+    st.global.u32 [%r3], %r4;
+SKIP:
+    exit;
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+
+	built, err := NewBuilder("gather").
+		Param("a", isa.U32).
+		Op(isa.OpMov, isa.U32, isa.Reg(0), isa.SReg(isa.SrTidX)).
+		Op(isa.OpShl, isa.U32, isa.Reg(1), isa.Reg(0), isa.Imm(2)).
+		LdParam(isa.Reg(2), "a").
+		Op(isa.OpAdd, isa.U32, isa.Reg(3), isa.Reg(2), isa.Reg(1)).
+		Ld(isa.SpaceGlobal, isa.U32, isa.Reg(4), isa.Mem(3, 0)).
+		Setp(isa.CmpLT, isa.U32, 0, isa.Reg(4), isa.Imm(10)).
+		BraIf(0, false, "SKIP").
+		St(isa.SpaceGlobal, isa.U32, isa.Mem(3, 0), isa.Reg(4)).
+		Label("SKIP").
+		Exit().
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	pk := parsed.Kernels[0]
+	if len(built.Insts) != len(pk.Insts) {
+		t.Fatalf("lengths differ: %d vs %d", len(built.Insts), len(pk.Insts))
+	}
+	for i := range pk.Insts {
+		if built.Insts[i].String() != pk.Insts[i].String() {
+			t.Errorf("inst %d: %q vs %q", i, built.Insts[i], pk.Insts[i])
+		}
+	}
+	if built.NumRegs != pk.NumRegs || built.NumPreds != pk.NumPreds {
+		t.Errorf("register counts differ: %d/%d vs %d/%d",
+			built.NumRegs, built.NumPreds, pk.NumRegs, pk.NumPreds)
+	}
+	if built.Labels["SKIP"] != pk.Labels["SKIP"] {
+		t.Errorf("label mismatch")
+	}
+}
+
+func TestBuilderErrorPaths(t *testing.T) {
+	if _, err := NewBuilder("k").Bra("NOWHERE").Exit().Build(); err == nil {
+		t.Errorf("undefined label accepted")
+	}
+	if _, err := NewBuilder("k").Label("A").Label("A").Exit().Build(); err == nil {
+		t.Errorf("duplicate label accepted")
+	}
+	if _, err := NewBuilder("k").Param("p", isa.U32).Param("p", isa.U32).Exit().Build(); err == nil {
+		t.Errorf("duplicate param accepted")
+	}
+	if _, err := NewBuilder("k").Exit().Label("END").Build(); err == nil {
+		t.Errorf("trailing label accepted")
+	}
+}
+
+func TestBuilderBarAndAtomics(t *testing.T) {
+	k, err := NewBuilder("sync").
+		Param("ctr", isa.U32).
+		Shared(256).
+		LdParam(isa.Reg(0), "ctr").
+		Bar().
+		Atom(isa.AtomAdd, isa.U32, isa.Reg(1), isa.Mem(0, 0), isa.Imm(1)).
+		GuardedOp(0, true, isa.OpAdd, isa.U32, isa.Reg(2), isa.Reg(1), isa.Imm(1)).
+		Exit().
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if k.SharedBytes != 256 {
+		t.Errorf("SharedBytes = %d", k.SharedBytes)
+	}
+	if k.Insts[1].Op != isa.OpBar || k.Insts[2].Op != isa.OpAtom {
+		t.Errorf("wrong ops: %v %v", k.Insts[1].Op, k.Insts[2].Op)
+	}
+	if g := k.Insts[3].Guard; !g.Active() || !g.Negate {
+		t.Errorf("guard = %+v", g)
+	}
+}

@@ -1,0 +1,170 @@
+package ptx
+
+import (
+	"testing"
+)
+
+// ifElseSrc has a classic diamond: entry -> then/else -> join.
+const ifElseSrc = `
+.kernel diamond
+    mov.u32     %r0, %tid.x;
+    setp.lt.u32 %p0, %r0, 16;
+@%p0 bra THEN;
+    mov.u32     %r1, 2;       // else side
+    bra JOIN;
+THEN:
+    mov.u32     %r1, 1;
+JOIN:
+    add.u32     %r2, %r1, 0;
+    exit;
+`
+
+func TestCFGDiamond(t *testing.T) {
+	prog, err := Parse(ifElseSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	k := prog.Kernels[0]
+	g := k.CFG()
+
+	// The conditional branch is instruction 2; its reconvergence point must
+	// be the JOIN label's instruction.
+	join := k.Labels["JOIN"]
+	if got := k.ReconvergencePC(2); got != join {
+		t.Errorf("reconvergence of diamond branch = %d, want %d (JOIN)\n%s", got, join, g)
+	}
+
+	// The entry block must have two successors.
+	entry := g.Blocks[g.BlockOf(0)]
+	if len(entry.Succ) != 2 {
+		t.Errorf("entry successors = %v, want 2", entry.Succ)
+	}
+
+	// Exit block postdominates everything.
+	for _, b := range g.Blocks {
+		if !g.PostDominates(g.ExitID, b.ID) {
+			t.Errorf("exit does not postdominate B%d", b.ID)
+		}
+	}
+}
+
+const loopSrc = `
+.kernel looper
+    mov.u32     %r0, 0;
+LOOP:
+    add.u32     %r0, %r0, 1;
+    setp.lt.u32 %p0, %r0, 10;
+@%p0 bra LOOP;
+    exit;
+`
+
+func TestCFGLoop(t *testing.T) {
+	prog, err := Parse(loopSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	k := prog.Kernels[0]
+	// The backedge branch is instruction 3; divergent lanes reconverge at the
+	// loop exit (instruction 4, the exit).
+	if got := k.ReconvergencePC(3); got != 4 {
+		t.Errorf("loop branch reconvergence = %d, want 4\n%s", got, k.CFG())
+	}
+}
+
+const nestedSrc = `
+.kernel nested
+    mov.u32     %r0, %tid.x;
+    setp.lt.u32 %p0, %r0, 16;
+@%p0 bra OUTER_THEN;
+    bra OUTER_JOIN;
+OUTER_THEN:
+    setp.lt.u32 %p1, %r0, 8;
+@%p1 bra INNER_THEN;
+    bra INNER_JOIN;
+INNER_THEN:
+    mov.u32     %r1, 1;
+INNER_JOIN:
+    mov.u32     %r2, 2;
+OUTER_JOIN:
+    exit;
+`
+
+func TestCFGNestedReconvergence(t *testing.T) {
+	prog, err := Parse(nestedSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	k := prog.Kernels[0]
+	outerBr := 2
+	innerBr := 5
+	if got, want := k.ReconvergencePC(outerBr), k.Labels["OUTER_JOIN"]; got != want {
+		t.Errorf("outer reconvergence = %d, want %d", got, want)
+	}
+	if got, want := k.ReconvergencePC(innerBr), k.Labels["INNER_JOIN"]; got != want {
+		t.Errorf("inner reconvergence = %d, want %d", got, want)
+	}
+	// Inner join must be strictly before outer join (proper nesting).
+	if k.Labels["INNER_JOIN"] >= k.Labels["OUTER_JOIN"] {
+		t.Fatalf("test kernel mis-specified")
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	prog, err := Parse(".kernel s\n mov.u32 %r0, 1;\n add.u32 %r0, %r0, 1;\n exit;")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	g := prog.Kernels[0].CFG()
+	// One real block plus the virtual exit.
+	if len(g.Blocks) != 2 {
+		t.Errorf("blocks = %d, want 2\n%s", len(g.Blocks), g)
+	}
+	if g.IPdom(0) != g.ExitID {
+		t.Errorf("ipdom(entry) = %d, want exit %d", g.IPdom(0), g.ExitID)
+	}
+}
+
+// TestCFGInfiniteLoop ensures postdominator computation terminates and gives
+// a sane answer when a block cannot reach exit.
+func TestCFGInfiniteLoop(t *testing.T) {
+	prog, err := Parse(`
+.kernel inf
+    mov.u32 %r0, 0;
+SPIN:
+    bra SPIN;
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	g := prog.Kernels[0].CFG()
+	for _, b := range g.Blocks {
+		if g.IPdom(b.ID) < 0 || g.IPdom(b.ID) >= len(g.Blocks) {
+			t.Errorf("ipdom(B%d) = %d out of range", b.ID, g.IPdom(b.ID))
+		}
+	}
+}
+
+func TestBlockPartitionCoversAllInstructions(t *testing.T) {
+	for _, src := range []string{bfsLikeSrc, ifElseSrc, loopSrc, nestedSrc} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		k := prog.Kernels[0]
+		g := k.CFG()
+		covered := make([]bool, len(k.Insts))
+		for _, b := range g.Blocks {
+			for i := b.Start; i < b.End; i++ {
+				if covered[i] {
+					t.Errorf("%s: instruction %d in two blocks", k.Name, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Errorf("%s: instruction %d not in any block", k.Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package ptx provides the textual assembler, program representation, and
+// control-flow analyses (CFG, postdominators) for the PTX-subset ISA.
+//
+// Kernels are written in a PTX-like assembly dialect:
+//
+//	.kernel bfs_step
+//	.param .u32 g_graph_mask
+//	.param .u32 no_of_nodes
+//	.shared 2048
+//
+//	    mov.u32      %r0, %ctaid.x;
+//	    mov.u32      %r1, %ntid.x;
+//	    mad.u32      %r2, %r0, %r1, %tid.x;
+//	    ld.param.u32 %r3, [no_of_nodes];
+//	    setp.ge.u32  %p0, %r2, %r3;
+//	@%p0 bra EXIT;
+//	    ...
+//	EXIT:
+//	    exit;
+//
+// The control-flow analyses feed two consumers: the SIMT divergence stack in
+// the emulator (reconvergence at immediate postdominators) and the backward
+// dataflow load classifier.
+package ptx
+
+import (
+	"fmt"
+	"sort"
+
+	"critload/internal/isa"
+)
+
+// ParamDecl describes one kernel parameter. All parameters occupy 4 bytes in
+// the parameter space, mirroring the 32-bit machine model.
+type ParamDecl struct {
+	Name   string
+	Type   isa.DType
+	Offset int // byte offset within the parameter space
+}
+
+// ParamSize is the byte size of every kernel parameter.
+const ParamSize = 4
+
+// Kernel is one assembled kernel function.
+type Kernel struct {
+	Name        string
+	Params      []ParamDecl
+	SharedBytes int // statically declared shared memory per CTA
+	NumRegs     int // general-purpose registers used (max index + 1)
+	NumPreds    int // predicate registers used
+	Insts       []*isa.Instruction
+	Labels      map[string]int
+
+	cfg *CFG // lazily built
+}
+
+// ParamOffset returns the byte offset of a named parameter.
+func (k *Kernel) ParamOffset(name string) (int, bool) {
+	for _, p := range k.Params {
+		if p.Name == name {
+			return p.Offset, true
+		}
+	}
+	return 0, false
+}
+
+// ParamSpaceBytes returns the total size of the kernel's parameter space.
+func (k *Kernel) ParamSpaceBytes() int { return len(k.Params) * ParamSize }
+
+// CFG returns the kernel's control-flow graph, building it on first use.
+func (k *Kernel) CFG() *CFG {
+	if k.cfg == nil {
+		k.cfg = BuildCFG(k)
+	}
+	return k.cfg
+}
+
+// ReconvergencePC returns the immediate-postdominator reconvergence
+// instruction index for the branch at instruction index i. A return of
+// len(k.Insts) denotes reconvergence at kernel exit.
+func (k *Kernel) ReconvergencePC(i int) int {
+	return k.CFG().ReconvergeIdx(i)
+}
+
+// GlobalLoads returns the instruction indices of all ld.global instructions,
+// in program order.
+func (k *Kernel) GlobalLoads() []int {
+	var out []int
+	for i, in := range k.Insts {
+		if in.IsGlobalLoad() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants of the kernel: resolved branch
+// targets, declared parameters, register indices within bounds, and operand
+// shapes appropriate for each opcode.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("kernel has no name")
+	}
+	if len(k.Insts) == 0 {
+		return fmt.Errorf("kernel %s has no instructions", k.Name)
+	}
+	checkReg := func(o isa.Operand, at int) error {
+		switch o.Kind {
+		case isa.OpdReg:
+			if o.Reg < 0 || o.Reg >= k.NumRegs {
+				return fmt.Errorf("%s:%d: register %%r%d out of range [0,%d)", k.Name, at, o.Reg, k.NumRegs)
+			}
+		case isa.OpdPred:
+			if o.Reg < 0 || o.Reg >= k.NumPreds {
+				return fmt.Errorf("%s:%d: predicate %%p%d out of range [0,%d)", k.Name, at, o.Reg, k.NumPreds)
+			}
+		case isa.OpdMem:
+			if o.Reg >= k.NumRegs {
+				return fmt.Errorf("%s:%d: mem base %%r%d out of range", k.Name, at, o.Reg)
+			}
+		case isa.OpdParam:
+			if _, ok := k.ParamOffset(o.Param); !ok {
+				return fmt.Errorf("%s:%d: unknown parameter %q", k.Name, at, o.Param)
+			}
+		}
+		return nil
+	}
+	for i, in := range k.Insts {
+		if in.Index != i {
+			return fmt.Errorf("%s:%d: bad instruction index %d", k.Name, i, in.Index)
+		}
+		if in.Guard.Active() && in.Guard.Reg >= k.NumPreds {
+			return fmt.Errorf("%s:%d: guard %%p%d out of range", k.Name, i, in.Guard.Reg)
+		}
+		if in.Op == isa.OpBra {
+			if in.Targ < 0 || in.Targ >= len(k.Insts) {
+				return fmt.Errorf("%s:%d: unresolved branch target %q", k.Name, i, in.Label)
+			}
+		}
+		if in.Op == isa.OpLd && in.Space == isa.SpaceParam {
+			if in.Srcs[0].Kind != isa.OpdParam {
+				return fmt.Errorf("%s:%d: ld.param requires a [name] operand", k.Name, i)
+			}
+		}
+		if (in.Op == isa.OpLd || in.Op == isa.OpSt || in.Op == isa.OpAtom) && in.Space == isa.SpaceNone {
+			return fmt.Errorf("%s:%d: memory op without state space", k.Name, i)
+		}
+		if err := checkReg(in.Dst, i); err != nil {
+			return err
+		}
+		for s := 0; s < in.NSrc; s++ {
+			if err := checkReg(in.Srcs[s], i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the kernel body as assembly text.
+func (k *Kernel) Disassemble() string {
+	// Invert the label map for printing.
+	byIdx := map[int][]string{}
+	for name, idx := range k.Labels {
+		byIdx[idx] = append(byIdx[idx], name)
+	}
+	for _, names := range byIdx {
+		sort.Strings(names)
+	}
+	out := fmt.Sprintf(".kernel %s\n", k.Name)
+	for _, p := range k.Params {
+		out += fmt.Sprintf(".param .%s %s\n", p.Type, p.Name)
+	}
+	if k.SharedBytes > 0 {
+		out += fmt.Sprintf(".shared %d\n", k.SharedBytes)
+	}
+	for i, in := range k.Insts {
+		for _, l := range byIdx[i] {
+			out += l + ":\n"
+		}
+		out += "    " + in.String() + ";\n"
+	}
+	return out
+}
+
+// Program is a collection of kernels assembled from one source unit.
+type Program struct {
+	Kernels []*Kernel
+}
+
+// Kernel returns the kernel with the given name.
+func (p *Program) Kernel(name string) (*Kernel, bool) {
+	for _, k := range p.Kernels {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return nil, false
+}
+
+// MustKernel returns the named kernel or panics; intended for workload
+// registration where a missing kernel is a programming error.
+func (p *Program) MustKernel(name string) *Kernel {
+	k, ok := p.Kernel(name)
+	if !ok {
+		panic(fmt.Sprintf("ptx: kernel %q not found", name))
+	}
+	return k
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("demo", "name", "value", "ratio")
+	t.Add("alpha", 42, 0.12345)
+	t.Add("beta", uint64(7), 1234.5)
+	return t
+}
+
+func TestTextRendering(t *testing.T) {
+	s := sample().String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows → 5? title+header+sep+2
+		if len(lines) != 5 {
+			t.Fatalf("lines = %d:\n%s", len(lines), s)
+		}
+	}
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "alpha") {
+		t.Errorf("missing content:\n%s", s)
+	}
+	// Columns aligned: header and row share the position of column 2.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "42") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.Add(0.0)
+	tb.Add(0.5)
+	tb.Add(42.0)
+	tb.Add(9999.9)
+	want := []string{"0", "0.500", "42.0", "10000"}
+	for i, r := range tb.Rows {
+		if r[0] != want[i] {
+			t.Errorf("row %d = %q, want %q", i, r[0], want[i])
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	if !strings.Contains(md, "| name | value | ratio |") {
+		t.Errorf("markdown header wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- | --- |") {
+		t.Errorf("markdown separator wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "**demo**") {
+		t.Errorf("markdown title wrong:\n%s", md)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	csv := sample().CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "name,value,ratio" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	// Commas in cells are sanitized.
+	tb := New("", "a")
+	tb.Add("x,y")
+	if !strings.Contains(tb.CSV(), "x;y") {
+		t.Errorf("comma not sanitized: %q", tb.CSV())
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.123))
+	}
+}

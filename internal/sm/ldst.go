@@ -1,0 +1,277 @@
+package sm
+
+import (
+	"critload/internal/cache"
+	"critload/internal/icnt"
+	"critload/internal/memreq"
+	"critload/internal/stats"
+)
+
+// stepLDST advances the memory pipeline one cycle: local hit completions,
+// then one L1 access attempt for the oldest op that still has requests to
+// present (strictly in order, as in the paper: "trailing requests must wait
+// even longer until cache resources are available").
+func (s *SM) stepLDST(now int64) {
+	s.processHits(now)
+
+	// Fully accepted ops at the head have left the issue stage and only
+	// wait for responses; drop them from the queue.
+	for len(s.ldstQ) > 0 && s.ldstQ[0].next >= len(s.ldstQ[0].reqs) {
+		s.popLDST()
+	}
+	if len(s.ldstQ) == 0 {
+		return
+	}
+	op := s.ldstQ[0]
+	r := op.reqs[op.next]
+	switch op.kind {
+	case opGlobalStore:
+		s.tryStore(op, r, now)
+	default:
+		s.tryLoad(op, r, now)
+	}
+	// Ops that finished presenting all requests leave the issue queue so
+	// the next op can start next cycle.
+	if op.next >= len(op.reqs) {
+		s.popLDST()
+		if op.kind == opGlobalStore {
+			// Stores retire at acceptance; nothing outstanding.
+			return
+		}
+		if op.isLoad && s.outstanding[op] == 0 {
+			// Every request hit: completion happens via hit events; the op
+			// is already tracked there.
+			return
+		}
+	}
+}
+
+func (s *SM) popLDST() {
+	s.ldstQ = s.ldstQ[1:]
+	if len(s.ldstQ) == 0 {
+		s.ldstQ = nil
+	}
+}
+
+// tryLoad presents one load/atomic request to the L1 (or, for
+// non-deterministic loads under the Section X.A bypass, straight to the
+// request network).
+func (s *SM) tryLoad(op *memOp, r *memreq.Request, now int64) {
+	if s.cfg.NonDetBypassL1 && op.nonDet {
+		if !s.backend.CanInject(s.ID) {
+			if op.kind == opGlobalLoad {
+				s.col.RecordL1Outcome(op.category(), cache.RsrvFailICNT)
+			}
+			return
+		}
+		r.BypassL1 = true
+		r.AcceptedL1 = now
+		r.InjectedICNT = now
+		s.backend.Inject(r, icnt.ControlFlits, now)
+		if op.kind == opGlobalLoad {
+			s.col.RecordL1Outcome(op.category(), cache.Miss)
+		}
+		op.noteAccept(now)
+		op.next++
+		return
+	}
+	inject := func() bool {
+		if !s.backend.CanInject(s.ID) {
+			return false
+		}
+		r.InjectedICNT = now
+		s.backend.Inject(r, icnt.ControlFlits, now)
+		return true
+	}
+	outcome := s.L1.Access(r, now, inject)
+	if op.kind == opGlobalLoad {
+		s.col.RecordL1Outcome(op.category(), outcome)
+	}
+	if !outcome.Accepted() {
+		return
+	}
+	r.AcceptedL1 = now
+	if outcome == cache.Hit {
+		r.Serviced = memreq.LvlL1
+		s.hitEvents = append(s.hitEvents, timedReq{at: now + s.cfg.L1.HitLatency, req: r})
+	}
+	if outcome == cache.Miss && s.cfg.PrefetchNextLine {
+		s.tryPrefetch(r, now)
+	}
+	op.noteAccept(now)
+	op.next++
+}
+
+// tryPrefetch issues a best-effort next-line prefetch after a demand miss.
+// It competes for the same tag, MSHR and interconnect resources as demand
+// requests and is dropped silently when any reservation fails. The fill
+// completes through the normal reply path; demand accesses that arrive in
+// the meantime merge on the reserved line as hit-reserved.
+func (s *SM) tryPrefetch(demand *memreq.Request, now int64) {
+	block := demand.Block + uint32(s.cfg.L1.LineBytes)
+	s.nextReqID++
+	pf := &memreq.Request{
+		ID:        uint64(s.ID)<<48 | s.nextReqID,
+		Block:     block,
+		Kind:      memreq.Load,
+		SM:        s.ID,
+		Partition: s.backend.PartitionOf(s.ID, block),
+		PC:        demand.PC,
+		Kernel:    s.kernelName,
+		NonDet:    demand.NonDet,
+		Prefetch:  true,
+		Issued:    now,
+	}
+	inject := func() bool {
+		if !s.backend.CanInject(s.ID) {
+			return false
+		}
+		pf.InjectedICNT = now
+		s.backend.Inject(pf, icnt.ControlFlits, now)
+		return true
+	}
+	// The prefetch probe's outcome is deliberately not recorded in the
+	// Figure 3 statistics: the paper's cycle accounting covers demand
+	// accesses only.
+	if s.L1.Access(pf, now, inject) == cache.Miss {
+		s.col.Prefetches++
+	}
+}
+
+// tryStore injects one write-through store request into the request network
+// (no L1 allocation on the Fermi write-no-allocate path).
+func (s *SM) tryStore(op *memOp, r *memreq.Request, now int64) {
+	if !s.backend.CanInject(s.ID) {
+		return
+	}
+	r.AcceptedL1 = now
+	r.InjectedICNT = now
+	s.backend.Inject(r, icnt.DataFlits, now)
+	op.noteAccept(now)
+	op.next++
+}
+
+func (op *memOp) noteAccept(now int64) {
+	if op.firstAcc < 0 {
+		op.firstAcc = now
+	}
+	op.lastAcc = now
+}
+
+// processHits completes locally-serviced (L1 hit) requests whose latency
+// elapsed.
+func (s *SM) processHits(now int64) {
+	kept := s.hitEvents[:0]
+	for _, e := range s.hitEvents {
+		if e.at > now {
+			kept = append(kept, e)
+			continue
+		}
+		e.req.Returned = now
+		s.completeRequest(e.req, now)
+	}
+	s.hitEvents = kept
+}
+
+// HandleReply receives a response from the reply network: it fills the L1
+// line and completes every request merged on it.
+func (s *SM) HandleReply(r *memreq.Request, now int64) {
+	if r.Kind == memreq.Store {
+		return // write acks are not modeled
+	}
+	if r.BypassL1 {
+		r.Returned = now
+		s.completeRequest(r, now)
+		return
+	}
+	targets := s.L1.Fill(r.Block, now)
+	for _, t := range targets {
+		t.Returned = now
+		if t.Serviced == memreq.LvlNone {
+			// Merged (hit-reserved) requests inherit the primary's level.
+			t.Serviced = r.Serviced
+		}
+		s.completeRequest(t, now)
+	}
+}
+
+// completeRequest accounts one returned response toward its owning warp op
+// and completes the op when the last response arrives.
+func (s *SM) completeRequest(r *memreq.Request, now int64) {
+	if s.tracer != nil {
+		s.tracer.Add(r)
+	}
+	op, ok := s.reqOwner[r]
+	if !ok {
+		return // stores, or requests of already-faulted ops
+	}
+	delete(s.reqOwner, r)
+	s.outstanding[op]--
+	if s.outstanding[op] > 0 {
+		return
+	}
+	delete(s.outstanding, op)
+	s.completeLoadOp(op, now)
+}
+
+// completeLoadOp writes back the load and folds its timing into the
+// turnaround statistics (Fig 5-7 decomposition).
+func (s *SM) completeLoadOp(op *memOp, now int64) {
+	if reg := op.inst.DefReg(); reg >= 0 {
+		op.warp.pendingReg[reg]--
+	}
+	if op.kind != opGlobalLoad {
+		return // atomics are not part of the paper's load statistics
+	}
+
+	total := now - op.issued
+	var unloaded int64
+	var firstRet, lastRet int64 = 1 << 62, 0
+	var icntGapSum int64
+	var missCount int64
+	for _, r := range op.reqs {
+		if u := s.lat.Unloaded(r.Serviced); u > unloaded {
+			unloaded = u
+		}
+		if r.Returned < firstRet {
+			firstRet = r.Returned
+		}
+		if r.Returned > lastRet {
+			lastRet = r.Returned
+		}
+		if r.ArrivedL2 > 0 && r.InjectedICNT > 0 {
+			if g := r.ArrivedL2 - r.InjectedICNT - s.lat.Icnt; g > 0 {
+				icntGapSum += g
+			}
+			missCount++
+		}
+	}
+	if unloaded > total {
+		unloaded = total
+	}
+	rsrvPrev := op.firstAcc - op.issued
+	rsrvCurr := op.lastAcc - op.firstAcc
+	if rsrvPrev < 0 {
+		rsrvPrev = 0
+	}
+	rec := stats.LoadOpRecord{
+		Kernel:   s.kernelName,
+		PC:       op.inst.PC,
+		NonDet:   op.nonDet,
+		NReq:     len(op.reqs),
+		Total:    total,
+		Unloaded: unloaded,
+		RsrvPrev: rsrvPrev,
+		RsrvCurr: rsrvCurr,
+		GapL2Icnt: func() int64 {
+			if lastRet >= firstRet && firstRet < 1<<62 {
+				return lastRet - firstRet
+			}
+			return 0
+		}(),
+	}
+	if missCount > 0 {
+		rec.GapIcntL2 = icntGapSum / missCount
+	}
+	s.col.RecordLoadOp(rec)
+}

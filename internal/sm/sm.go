@@ -1,0 +1,443 @@
+// Package sm models one streaming multiprocessor: warp contexts with a
+// scoreboard, two warp schedulers (loose round-robin or greedy-then-oldest),
+// SP / SFU / LD-ST function units with first-stage occupancy tracking, a
+// coalescing LD/ST pipeline in front of a private L1 data cache, barrier
+// handling, and CTA resource accounting. The observable behaviours are the
+// ones the paper measures: per-access L1 outcomes (Fig 3), unit idle
+// fractions (Fig 4), and per-load turnaround decompositions (Fig 5-7).
+package sm
+
+import (
+	"fmt"
+
+	"critload/internal/cache"
+	"critload/internal/emu"
+	"critload/internal/isa"
+	"critload/internal/memreq"
+	"critload/internal/stats"
+)
+
+// Policy selects the warp scheduling policy.
+type Policy uint8
+
+// Warp scheduler policies.
+const (
+	LRR Policy = iota // loose round-robin
+	GTO               // greedy-then-oldest
+)
+
+func (p Policy) String() string {
+	if p == GTO {
+		return "gto"
+	}
+	return "lrr"
+}
+
+// Config sizes one SM. The defaults mirror Table II's Tesla C2050 setup.
+type Config struct {
+	NumSchedulers  int
+	MaxWarps       int
+	MaxCTAs        int
+	MaxThreads     int
+	SharedMemBytes int
+	Registers      int // 32-bit registers per SM (128 KB register file)
+
+	SPLatency    int64 // SP result latency
+	SPInit       int64 // SP initiation interval (first-stage occupancy)
+	SFULatency   int64
+	SFUInit      int64
+	SharedLat    int64 // shared-memory load/store latency
+	ConstLat     int64 // parameter/constant access latency
+	LDSTQueueCap int   // warp memory ops concurrently issuing accesses
+
+	Policy Policy
+	L1     cache.Config
+
+	// NonDetBypassL1 enables the Section X.A instruction-specific
+	// optimization: non-deterministic loads skip the L1 entirely so their
+	// bursty request streams stop exhausting cache tags and MSHRs that
+	// deterministic loads could use.
+	NonDetBypassL1 bool
+
+	// PrefetchNextLine enables a simple next-line prefetcher on L1 misses —
+	// the kind of application-oblivious mechanism the paper contrasts with
+	// instruction-aware ones: it helps the unit-stride deterministic
+	// streams but wastes tags and bandwidth on non-deterministic loads.
+	PrefetchNextLine bool
+}
+
+// DefaultConfig returns the Table II SM configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumSchedulers:  2,
+		MaxWarps:       48,
+		MaxCTAs:        8,
+		MaxThreads:     1536,
+		SharedMemBytes: 48 * 1024,
+		Registers:      32768,
+		SPLatency:      4,
+		SPInit:         1,
+		SFULatency:     16,
+		SFUInit:        8,
+		SharedLat:      24,
+		ConstLat:       8,
+		LDSTQueueCap:   4,
+		Policy:         LRR,
+		L1: cache.Config{
+			Bytes: 16 * 1024, LineBytes: 128, Ways: 4,
+			MSHREntries: 64, MSHRTargets: 8, HitLatency: 18,
+		},
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumSchedulers <= 0 || c.MaxWarps <= 0 || c.MaxCTAs <= 0 ||
+		c.MaxThreads <= 0 || c.LDSTQueueCap <= 0 {
+		return fmt.Errorf("sm: bad config %+v", c)
+	}
+	return c.L1.Validate()
+}
+
+// LatencyModel gives the unloaded end-to-end latencies used by the
+// turnaround decomposition (Fig 5's bottom component).
+type LatencyModel struct {
+	L1Hit int64 // load serviced by the L1
+	L2Hit int64 // L1 miss serviced by the L2
+	DRAM  int64 // L1+L2 miss serviced by DRAM
+	Icnt  int64 // one-way unloaded network latency
+}
+
+// Unloaded returns the unloaded latency for a service level.
+func (m LatencyModel) Unloaded(lvl memreq.Level) int64 {
+	switch lvl {
+	case memreq.LvlL1:
+		return m.L1Hit
+	case memreq.LvlL2:
+		return m.L2Hit
+	case memreq.LvlDRAM:
+		return m.DRAM
+	}
+	return 0
+}
+
+// Tracer receives every completed load request; implemented by
+// trace.Buffer. A nil tracer disables tracing.
+type Tracer interface {
+	Add(r *memreq.Request)
+}
+
+// Backend is the SM's view of the rest of the GPU (implemented by the gpu
+// package): request-network injection, address mapping, and CTA retirement.
+type Backend interface {
+	// CanInject reports whether this SM can inject a packet into the request
+	// network right now; it backs the L1's interconnect reservation.
+	CanInject(smID int) bool
+	// Inject sends a request into the request network. It must only be
+	// called after CanInject returned true in the same cycle.
+	Inject(r *memreq.Request, flits int64, now int64)
+	// PartitionOf maps a block address (as accessed by the given SM) to its
+	// memory partition. The SM id matters only for the semi-global L2
+	// organization of Section X.C, where SM clusters own L2 slice groups.
+	PartitionOf(smID int, block uint32) int
+	// CTAFinished notifies that a CTA fully retired on the SM.
+	CTAFinished(smID int, cta *emu.CTA)
+}
+
+type ctaCtx struct {
+	cta       *emu.CTA
+	liveWarps int
+	threads   int
+	shared    int
+	regs      int
+}
+
+type warpCtx struct {
+	w           *emu.Warp
+	cta         *ctaCtx
+	pendingReg  []int // per-register outstanding writes
+	pendingPred []int
+	age         int // global arrival order (GTO tiebreak)
+}
+
+// scoreboardReady reports whether the warp's next instruction has no RAW/WAW
+// hazard on in-flight results.
+func (wc *warpCtx) scoreboardReady(in *isa.Instruction) bool {
+	var buf [4]int
+	for _, r := range in.SourceRegs(buf[:0]) {
+		if wc.pendingReg[r] > 0 {
+			return false
+		}
+	}
+	if d := in.DefReg(); d >= 0 && wc.pendingReg[d] > 0 {
+		return false
+	}
+	if d := in.DefPred(); d >= 0 && wc.pendingPred[d] > 0 {
+		return false
+	}
+	if in.Guard.Active() && wc.pendingPred[in.Guard.Reg] > 0 {
+		return false
+	}
+	for s := 0; s < in.NSrc; s++ {
+		if in.Srcs[s].Kind == isa.OpdPred && wc.pendingPred[in.Srcs[s].Reg] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type memOpKind uint8
+
+const (
+	opGlobalLoad memOpKind = iota
+	opGlobalStore
+	opAtomic
+)
+
+// memOp is one warp-level memory instruction in the LD/ST pipeline.
+type memOp struct {
+	kind     memOpKind
+	warp     *warpCtx
+	inst     *isa.Instruction
+	reqs     []*memreq.Request
+	next     int // next request to present to the L1 / network
+	issued   int64
+	firstAcc int64 // first request acceptance cycle (-1 until set)
+	lastAcc  int64
+	nonDet   bool
+	isLoad   bool // writes back a destination register
+}
+
+func (op *memOp) category() stats.Category { return stats.CatOf(op.nonDet) }
+
+type timedReq struct {
+	at  int64
+	req *memreq.Request
+}
+
+type wbEvent struct {
+	at   int64
+	warp *warpCtx
+	reg  int // general register, -1 if none
+	pred int // predicate register, -1 if none
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID  int
+	cfg Config
+	lat LatencyModel
+
+	backend Backend
+	col     *stats.Collector
+
+	// Current kernel context (set per launch).
+	env        *emu.Env
+	classify   stats.Classifier
+	kernelName string
+
+	L1 *cache.Cache
+
+	ctas  []*ctaCtx
+	warps []*warpCtx
+	// schedWarps partitions the live warps over the schedulers (by age
+	// modulo scheduler count, as on Fermi); maintained on CTA launch/retire.
+	schedWarps [][]*warpCtx
+	age        int
+
+	usedThreads int
+	usedShared  int
+	usedRegs    int
+
+	unitBusyUntil [isa.NumFuncUnits]int64
+	ldstQ         []*memOp
+	wbEvents      []wbEvent
+	hitEvents     []timedReq
+	reqOwner      map[*memreq.Request]*memOp
+	outstanding   map[*memOp]int // unreturned responses per load op
+
+	rr     []int // per-scheduler round-robin cursor
+	greedy []*warpCtx
+
+	nextReqID uint64
+	tracer    Tracer
+
+	// InstructionsIssued counts issued warp instructions (all units).
+	InstructionsIssued uint64
+}
+
+// SetTracer installs (or removes, with nil) a per-request trace sink.
+func (s *SM) SetTracer(t Tracer) { s.tracer = t }
+
+// New builds an SM.
+func New(id int, cfg Config, lat LatencyModel, backend Backend, col *stats.Collector) (*SM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if backend == nil || col == nil {
+		return nil, fmt.Errorf("sm: nil backend or collector")
+	}
+	return &SM{
+		ID: id, cfg: cfg, lat: lat, backend: backend, col: col,
+		L1:          cache.MustNew(cfg.L1),
+		reqOwner:    map[*memreq.Request]*memOp{},
+		outstanding: map[*memOp]int{},
+		rr:          make([]int, cfg.NumSchedulers),
+		greedy:      make([]*warpCtx, cfg.NumSchedulers),
+		schedWarps:  make([][]*warpCtx, cfg.NumSchedulers),
+	}, nil
+}
+
+// SetKernel installs the kernel context for the next launch.
+func (s *SM) SetKernel(env *emu.Env, kernelName string, classify stats.Classifier) {
+	s.env = env
+	s.kernelName = kernelName
+	s.classify = classify
+	// GPUs invalidate L1 between kernel launches.
+	s.L1.InvalidateAll()
+}
+
+// CanAccept reports whether the SM has resources for one more CTA of the
+// launch.
+func (s *SM) CanAccept(l *emu.Launch) bool {
+	threads := l.Block.Count()
+	warps := l.WarpsPerCTA()
+	regs := l.Kernel.NumRegs * threads
+	return len(s.ctas) < s.cfg.MaxCTAs &&
+		s.usedThreads+threads <= s.cfg.MaxThreads &&
+		len(s.warps)+warps <= s.cfg.MaxWarps &&
+		s.usedShared+l.Kernel.SharedBytes <= s.cfg.SharedMemBytes &&
+		s.usedRegs+regs <= s.cfg.Registers
+}
+
+// LaunchCTA instantiates CTA id of the launch on this SM; the caller must
+// have checked CanAccept.
+func (s *SM) LaunchCTA(l *emu.Launch, id int) {
+	cta := emu.NewCTA(l, id)
+	cc := &ctaCtx{
+		cta:       cta,
+		liveWarps: len(cta.Warps),
+		threads:   l.Block.Count(),
+		shared:    l.Kernel.SharedBytes,
+		regs:      l.Kernel.NumRegs * l.Block.Count(),
+	}
+	s.ctas = append(s.ctas, cc)
+	s.usedThreads += cc.threads
+	s.usedShared += cc.shared
+	s.usedRegs += cc.regs
+	for _, w := range cta.Warps {
+		wc := &warpCtx{
+			w: w, cta: cc,
+			pendingReg:  make([]int, l.Kernel.NumRegs),
+			pendingPred: make([]int, l.Kernel.NumPreds),
+			age:         s.age,
+		}
+		s.warps = append(s.warps, wc)
+		sched := wc.age % s.cfg.NumSchedulers
+		s.schedWarps[sched] = append(s.schedWarps[sched], wc)
+		s.age++
+	}
+}
+
+// LiveCTAs returns the number of resident CTAs.
+func (s *SM) LiveCTAs() int { return len(s.ctas) }
+
+// Idle reports whether the SM has no work at all: no live warps and no
+// in-flight memory operations or events.
+func (s *SM) Idle() bool {
+	return len(s.warps) == 0 && len(s.ldstQ) == 0 &&
+		len(s.wbEvents) == 0 && len(s.hitEvents) == 0 &&
+		len(s.reqOwner) == 0
+}
+
+// retireCTA frees a finished CTA's resources.
+func (s *SM) retireCTA(cc *ctaCtx) {
+	for i, c := range s.ctas {
+		if c == cc {
+			s.ctas = append(s.ctas[:i], s.ctas[i+1:]...)
+			break
+		}
+	}
+	s.usedThreads -= cc.threads
+	s.usedShared -= cc.shared
+	s.usedRegs -= cc.regs
+	// Remove retired warps.
+	kept := s.warps[:0]
+	for _, wc := range s.warps {
+		if wc.cta != cc {
+			kept = append(kept, wc)
+		}
+	}
+	s.warps = kept
+	for sched := range s.schedWarps {
+		sk := s.schedWarps[sched][:0]
+		for _, wc := range s.schedWarps[sched] {
+			if wc.cta != cc {
+				sk = append(sk, wc)
+			}
+		}
+		s.schedWarps[sched] = sk
+	}
+	for i := range s.greedy {
+		if s.greedy[i] != nil && s.greedy[i].cta == cc {
+			s.greedy[i] = nil
+		}
+	}
+	s.backend.CTAFinished(s.ID, cc.cta)
+}
+
+// Step advances the SM one cycle: completions, the LD/ST pipeline, then
+// instruction issue, then occupancy statistics.
+func (s *SM) Step(now int64) error {
+	s.processWritebacks(now)
+	s.stepLDST(now)
+	if err := s.issue(now); err != nil {
+		return err
+	}
+	s.recordOccupancy(now)
+	return nil
+}
+
+func (s *SM) recordOccupancy(now int64) {
+	s.col.RecordSMCycle()
+	s.col.RecordUnitCycle(isa.UnitSP, s.unitBusyUntil[isa.UnitSP] > now)
+	s.col.RecordUnitCycle(isa.UnitSFU, s.unitBusyUntil[isa.UnitSFU] > now)
+	s.col.RecordUnitCycle(isa.UnitLDST, s.ldstBusy(now))
+}
+
+// ldstBusy reports whether the LD/ST first stage cannot accept a new warp
+// memory instruction.
+func (s *SM) ldstBusy(now int64) bool {
+	return len(s.ldstQ) >= s.cfg.LDSTQueueCap || s.unitBusyUntil[isa.UnitLDST] > now
+}
+
+func (s *SM) processWritebacks(now int64) {
+	kept := s.wbEvents[:0]
+	for _, e := range s.wbEvents {
+		if e.at > now {
+			kept = append(kept, e)
+			continue
+		}
+		if e.reg >= 0 {
+			e.warp.pendingReg[e.reg]--
+		}
+		if e.pred >= 0 {
+			e.warp.pendingPred[e.pred]--
+		}
+	}
+	s.wbEvents = kept
+}
+
+func (s *SM) scheduleWriteback(wc *warpCtx, in *isa.Instruction, at int64) {
+	reg, pred := in.DefReg(), in.DefPred()
+	if reg < 0 && pred < 0 {
+		return
+	}
+	if reg >= 0 {
+		wc.pendingReg[reg]++
+	}
+	if pred >= 0 {
+		wc.pendingPred[pred]++
+	}
+	s.wbEvents = append(s.wbEvents, wbEvent{at: at, warp: wc, reg: reg, pred: pred})
+}

@@ -1,0 +1,159 @@
+// Package trace records per-request memory traces from timing runs and
+// serializes them as CSV, enabling offline analysis of the kind the paper
+// performs for Figures 6 and 7 (per-PC turnaround against request counts)
+// without re-running the simulator.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"critload/internal/memreq"
+)
+
+// Record is one completed memory request's lifecycle.
+type Record struct {
+	ID        uint64
+	Kernel    string
+	PC        uint32
+	Block     uint32
+	Kind      memreq.Kind
+	SM        int
+	Partition int
+	NonDet    bool
+	Lanes     int
+
+	Issued       int64
+	AcceptedL1   int64
+	InjectedICNT int64
+	ArrivedL2    int64
+	DoneL2       int64
+	Returned     int64
+	Serviced     memreq.Level
+}
+
+// FromRequest snapshots a finished request.
+func FromRequest(r *memreq.Request) Record {
+	return Record{
+		ID: r.ID, Kernel: r.Kernel, PC: r.PC, Block: r.Block, Kind: r.Kind,
+		SM: r.SM, Partition: r.Partition, NonDet: r.NonDet, Lanes: r.Lanes,
+		Issued: r.Issued, AcceptedL1: r.AcceptedL1, InjectedICNT: r.InjectedICNT,
+		ArrivedL2: r.ArrivedL2, DoneL2: r.DoneL2, Returned: r.Returned,
+		Serviced: r.Serviced,
+	}
+}
+
+// Latency returns the request's end-to-end latency, or 0 when it never
+// completed (stores, truncated windows).
+func (r Record) Latency() int64 {
+	if r.Returned == 0 || r.Returned < r.Issued {
+		return 0
+	}
+	return r.Returned - r.Issued
+}
+
+// Buffer accumulates records up to a capacity; recording beyond it drops
+// the new records and counts them, so traces stay bounded on long runs.
+type Buffer struct {
+	cap     int
+	records []Record
+	dropped uint64
+}
+
+// NewBuffer builds a buffer holding at most capacity records.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Buffer{cap: capacity}
+}
+
+// Add records one request.
+func (b *Buffer) Add(r *memreq.Request) {
+	if len(b.records) >= b.cap {
+		b.dropped++
+		return
+	}
+	b.records = append(b.records, FromRequest(r))
+}
+
+// Len returns the number of buffered records.
+func (b *Buffer) Len() int { return len(b.records) }
+
+// Dropped returns how many records did not fit.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// Records returns the buffered records (shared slice; do not mutate).
+func (b *Buffer) Records() []Record { return b.records }
+
+// csvHeader lists the CSV columns in order.
+const csvHeader = "id,kernel,pc,block,kind,sm,partition,nondet,lanes,issued,accepted_l1,injected_icnt,arrived_l2,done_l2,returned,serviced,latency"
+
+// WriteCSV serializes the buffered records.
+func (b *Buffer) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for _, r := range b.records {
+		nd := 0
+		if r.NonDet {
+			nd = 1
+		}
+		_, err := fmt.Fprintf(w, "%d,%s,0x%x,0x%x,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d\n",
+			r.ID, r.Kernel, r.PC, r.Block, r.Kind, r.SM, r.Partition, nd, r.Lanes,
+			r.Issued, r.AcceptedL1, r.InjectedICNT, r.ArrivedL2, r.DoneL2,
+			r.Returned, r.Serviced, r.Latency())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PCSummary aggregates one PC's trace records.
+type PCSummary struct {
+	Kernel      string
+	PC          uint32
+	NonDet      bool
+	Requests    int
+	MeanLatency float64
+	MaxLatency  int64
+}
+
+// SummarizeByPC groups the buffered records per static load.
+func (b *Buffer) SummarizeByPC() []PCSummary {
+	type key struct {
+		kernel string
+		pc     uint32
+	}
+	agg := map[key]*PCSummary{}
+	for _, r := range b.records {
+		k := key{r.Kernel, r.PC}
+		s := agg[k]
+		if s == nil {
+			s = &PCSummary{Kernel: r.Kernel, PC: r.PC, NonDet: r.NonDet}
+			agg[k] = s
+		}
+		s.Requests++
+		lat := r.Latency()
+		s.MeanLatency += float64(lat)
+		if lat > s.MaxLatency {
+			s.MaxLatency = lat
+		}
+	}
+	out := make([]PCSummary, 0, len(agg))
+	for _, s := range agg {
+		if s.Requests > 0 {
+			s.MeanLatency /= float64(s.Requests)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kernel != out[j].Kernel {
+			return out[i].Kernel < out[j].Kernel
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}

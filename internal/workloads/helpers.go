@@ -1,0 +1,271 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"critload/internal/emu"
+	"critload/internal/mem"
+	"critload/internal/ptx"
+)
+
+// f32bits converts a float32 to its register representation.
+func f32bits(f float32) uint32 { return math.Float32bits(f) }
+
+// grid1D returns the CTA count covering n threads with the given block size.
+func grid1D(n, block int) int { return (n + block - 1) / block }
+
+// checkF32 compares a device float array against a reference within an
+// absolute-or-relative tolerance.
+func checkF32(m *mem.Memory, base uint32, want []float32, tol float64, what string) error {
+	for i, w := range want {
+		got := m.ReadF32(base + uint32(4*i))
+		diff := math.Abs(float64(got) - float64(w))
+		if diff > tol && diff > tol*math.Abs(float64(w)) {
+			return fmt.Errorf("%s[%d] = %v, want %v (diff %v)", what, i, got, w, diff)
+		}
+	}
+	return nil
+}
+
+// checkU32 compares a device word array against a reference exactly.
+func checkU32(m *mem.Memory, base uint32, want []uint32, what string) error {
+	for i, w := range want {
+		if got := m.Read32(base + uint32(4*i)); got != w {
+			return fmt.Errorf("%s[%d] = %d, want %d", what, i, got, w)
+		}
+	}
+	return nil
+}
+
+// randF32s returns n floats in [lo, hi).
+func randF32s(rng *rand.Rand, n int, lo, hi float32) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = lo + rng.Float32()*(hi-lo)
+	}
+	return out
+}
+
+// launch1D builds a 1-D launch.
+func launch1D(k *ptx.Kernel, threads, block int, params ...uint32) *emu.Launch {
+	return &emu.Launch{
+		Kernel: k,
+		Grid:   emu.Dim1(grid1D(threads, block)),
+		Block:  emu.Dim1(block),
+		Params: params,
+	}
+}
+
+// launch2D builds a 2-D launch with blockX×blockY threads per CTA covering
+// an nx×ny domain.
+func launch2D(k *ptx.Kernel, nx, ny, blockX, blockY int, params ...uint32) *emu.Launch {
+	return &emu.Launch{
+		Kernel: k,
+		Grid:   emu.Dim2(grid1D(nx, blockX), grid1D(ny, blockY)),
+		Block:  emu.Dim2(blockX, blockY),
+		Params: params,
+	}
+}
+
+// csr is a CPU-side compressed sparse row graph/matrix.
+type csr struct {
+	n      int
+	rowPtr []uint32 // n+1
+	cols   []uint32
+	wts    []uint32 // optional edge weights
+}
+
+// nnz returns the stored entry count.
+func (g *csr) nnz() int { return len(g.cols) }
+
+// randomGraph builds an undirected random graph with n vertices and roughly
+// degree*n/2 undirected edges, stored as a symmetric CSR. A power-law-ish
+// skew concentrates edges on low-numbered vertices, like the paper's R-MAT
+// inputs.
+func randomGraph(rng *rand.Rand, n, degree int) *csr {
+	adj := make([]map[uint32]uint32, n)
+	for i := range adj {
+		adj[i] = map[uint32]uint32{}
+	}
+	nextW := uint32(1)
+	edges := n * degree / 2
+	for e := 0; e < edges; e++ {
+		// Mildly skewed endpoint selection (exponent 1.5): a heavy-ish tail
+		// like the paper's R-MAT inputs without creating mega-hubs that
+		// would let the edge loops dominate the dynamic instruction mix.
+		u := int(float64(n) * math.Pow(rng.Float64(), 1.5))
+		v := rng.Intn(n)
+		if u >= n {
+			u = n - 1
+		}
+		if u == v {
+			continue
+		}
+		if _, dup := adj[u][uint32(v)]; dup {
+			continue
+		}
+		w := nextW // unique weights keep MST selection deterministic
+		nextW++
+		adj[u][uint32(v)] = w
+		adj[v][uint32(u)] = w
+	}
+	g := &csr{n: n, rowPtr: make([]uint32, n+1)}
+	for u := 0; u < n; u++ {
+		g.rowPtr[u] = uint32(len(g.cols))
+		// Deterministic neighbor order.
+		nbrs := make([]uint32, 0, len(adj[u]))
+		for v := range adj[u] {
+			nbrs = append(nbrs, v)
+		}
+		sortU32(nbrs)
+		for _, v := range nbrs {
+			g.cols = append(g.cols, v)
+			g.wts = append(g.wts, adj[u][v])
+		}
+	}
+	g.rowPtr[n] = uint32(len(g.cols))
+	return g
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// components labels connected components on the CPU (min vertex id per
+// component) for ccl/mst verification.
+func (g *csr) components() []uint32 {
+	label := make([]uint32, g.n)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	// BFS from each unvisited vertex, assigning the component's minimum id.
+	seen := make([]bool, g.n)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		queue := []uint32{uint32(s)}
+		seen[s] = true
+		compMin := uint32(s)
+		var members []uint32
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			members = append(members, u)
+			if u < compMin {
+				compMin = u
+			}
+			for e := g.rowPtr[u]; e < g.rowPtr[u+1]; e++ {
+				v := g.cols[e]
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, u := range members {
+			label[u] = compMin
+		}
+	}
+	return label
+}
+
+// bfsDistances computes hop counts from src on the CPU (math.MaxUint32 =
+// unreachable).
+func (g *csr) bfsDistances(src int) []uint32 {
+	const inf = math.MaxUint32
+	dist := make([]uint32, g.n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	queue := []uint32{uint32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := g.rowPtr[u]; e < g.rowPtr[u+1]; e++ {
+			v := g.cols[e]
+			if dist[v] == inf {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// shortestPaths computes weighted single-source distances (Dijkstra) on the
+// CPU for sssp verification.
+func (g *csr) shortestPaths(src int) []uint32 {
+	const inf = math.MaxUint32
+	dist := make([]uint32, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, uint32(inf)
+		for v := 0; v < g.n; v++ {
+			if !done[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		done[u] = true
+		for e := g.rowPtr[u]; e < g.rowPtr[u+1]; e++ {
+			v := g.cols[e]
+			if nd := dist[u] + g.wts[e]; nd < dist[v] {
+				dist[v] = nd
+			}
+		}
+	}
+}
+
+// mstWeight computes the minimum-spanning-forest weight (Kruskal) on the CPU.
+func (g *csr) mstWeight() uint64 {
+	type edge struct {
+		u, v uint32
+		w    uint32
+	}
+	var edges []edge
+	for u := 0; u < g.n; u++ {
+		for e := g.rowPtr[u]; e < g.rowPtr[u+1]; e++ {
+			v := g.cols[e]
+			if uint32(u) < v {
+				edges = append(edges, edge{uint32(u), v, g.wts[e]})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+	parent := make([]uint32, g.n)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var total uint64
+	for _, e := range edges {
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			parent[ru] = rv
+			total += uint64(e.w)
+		}
+	}
+	return total
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"testing"
+
+	"critload/internal/dataflow"
+	"critload/internal/emu"
+	"critload/internal/stats"
+)
+
+// smallSize gives per-workload reduced sizes for fast functional tests.
+var smallSize = map[string]int{
+	"2mm": 32, "gaus": 24, "grm": 24, "lu": 24, "spmv": 512,
+	"htw": 64, "mriq": 64, "dwt": 64, "bpr": 256, "srad": 32,
+	"bfs": 512, "sssp": 256, "ccl": 256, "mst": 128, "mis": 256,
+}
+
+// setupSmall builds a small instance of the named workload.
+func setupSmall(t *testing.T, name string) *Instance {
+	t.Helper()
+	w, ok := Get(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	inst, err := w.Setup(Params{Size: smallSize[name], Seed: 42})
+	if err != nil {
+		t.Fatalf("Setup(%s): %v", name, err)
+	}
+	return inst
+}
+
+// TestAllWorkloadsFunctionallyCorrect runs every registered workload on the
+// functional emulator and checks the device results against the CPU
+// reference.
+func TestAllWorkloadsFunctionallyCorrect(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inst := setupSmall(t, name)
+			exec := FunctionalExecutor(inst.Mem, nil, 0)
+			if err := inst.Run(exec); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := inst.Verify(); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+		})
+	}
+}
+
+// TestWorkloadMetadata checks the registry matches Table I's structure.
+func TestWorkloadMetadata(t *testing.T) {
+	names := Names()
+	if len(names) != 15 {
+		t.Fatalf("registered workloads = %d, want 15", len(names))
+	}
+	want := []string{"2mm", "gaus", "grm", "lu", "spmv", "htw", "mriq", "dwt", "bpr", "srad", "bfs", "sssp", "ccl", "mst", "mis"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	if got := len(ByCategory(Linear)); got != 5 {
+		t.Errorf("linear workloads = %d, want 5", got)
+	}
+	if got := len(ByCategory(Image)); got != 5 {
+		t.Errorf("image workloads = %d, want 5", got)
+	}
+	if got := len(ByCategory(Graph)); got != 5 {
+		t.Errorf("graph workloads = %d, want 5", got)
+	}
+	for _, w := range All() {
+		if w.Description == "" || w.DataSet == "" {
+			t.Errorf("%s: missing metadata", w.Name)
+		}
+	}
+}
+
+// TestWorkloadInstancesExposeGeometry checks the Table I geometry fields.
+func TestWorkloadInstancesExposeGeometry(t *testing.T) {
+	for _, name := range Names() {
+		inst := setupSmall(t, name)
+		if inst.CTAs <= 0 || inst.ThreadsPerCTA <= 0 {
+			t.Errorf("%s: geometry %d CTAs × %d threads", name, inst.CTAs, inst.ThreadsPerCTA)
+		}
+		if inst.MainKernel == "" {
+			t.Errorf("%s: no main kernel", name)
+		}
+		if _, ok := inst.Prog.Kernel(inst.MainKernel); !ok {
+			t.Errorf("%s: main kernel %q not in program", name, inst.MainKernel)
+		}
+	}
+}
+
+// classifierFor builds a per-kernel map of stats classifiers.
+func classifierFor(inst *Instance) map[string]stats.Classifier {
+	out := map[string]stats.Classifier{}
+	for _, k := range inst.Prog.Kernels {
+		res := dataflow.Classify(k)
+		out[k.Name] = func(pc uint32) bool {
+			li, ok := res.Load(int(pc) / 8)
+			return ok && li.Class == dataflow.NonDeterministic
+		}
+	}
+	return out
+}
+
+// TestCategoriesShowExpectedLoadMix checks the paper's Figure 1 shape: the
+// graph workloads execute non-deterministic loads, the dense linear algebra
+// ones do not.
+func TestCategoriesShowExpectedLoadMix(t *testing.T) {
+	nondetFraction := func(name string) float64 {
+		inst := setupSmall(t, name)
+		col := stats.New()
+		classifiers := classifierFor(inst)
+		var current stats.Classifier
+		listener := func(ctaID int, w *emu.Warp, s *emu.Step) {
+			col.ObserveStep(ctaID, s, current)
+		}
+		exec := func(l *emu.Launch) error {
+			current = classifiers[l.Kernel.Name]
+			e := FunctionalExecutor(inst.Mem, listener, 0)
+			return e(l)
+		}
+		if err := inst.Run(exec); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_, nd := col.LoadFraction()
+		return nd
+	}
+
+	for _, name := range []string{"2mm", "gaus", "lu", "grm"} {
+		if f := nondetFraction(name); f != 0 {
+			t.Errorf("%s: non-deterministic fraction %v, want 0", name, f)
+		}
+	}
+	for _, name := range []string{"bfs", "sssp", "mis", "ccl", "mst", "spmv"} {
+		if f := nondetFraction(name); f <= 0.05 {
+			t.Errorf("%s: non-deterministic fraction %v, want > 0.05", name, f)
+		}
+	}
+}

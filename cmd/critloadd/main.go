@@ -1,0 +1,92 @@
+// Command critloadd serves the paper's classification-and-simulation
+// pipeline over HTTP: synchronous PTX load classification, asynchronous
+// functional/timing simulation jobs on a bounded worker pool, a
+// content-addressed result cache, and text metrics. See docs/SERVICE.md for
+// the API contract.
+//
+// Usage:
+//
+//	critloadd                         # listen on :8321, one worker per CPU
+//	critloadd -addr :9000 -workers 4  # custom bind and pool size
+//	critloadd -cache 1024 -queue 512  # larger result cache and job queue
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"critload/internal/jobs"
+	"critload/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	workers := flag.Int("workers", 0, "simulation workers (0 = one per CPU)")
+	queue := flag.Int("queue", jobs.DefaultQueueDepth, "job queue depth")
+	cacheEntries := flag.Int("cache", jobs.DefaultCacheEntries,
+		"result cache entries (negative disables caching)")
+	grace := flag.Duration("grace", 30*time.Second,
+		"shutdown grace period for draining running jobs")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *cacheEntries, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "critloadd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cacheEntries int, grace time.Duration) error {
+	mgr, err := jobs.NewManager(jobs.Config{
+		Workers:      workers,
+		QueueDepth:   queue,
+		CacheEntries: cacheEntries,
+		Runner:       server.SimRunner(),
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("critloadd: listening on %s (%d workers)", addr, workers)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain the pool;
+	// running jobs get the full grace period before their contexts are
+	// cancelled.
+	log.Printf("critloadd: shutting down, draining jobs (grace %s)", grace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(graceCtx); err != nil {
+		log.Printf("critloadd: http shutdown: %v", err)
+	}
+	if err := mgr.Close(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("draining jobs: %w", err)
+	}
+	log.Printf("critloadd: drained")
+	return nil
+}

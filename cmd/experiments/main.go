@@ -9,9 +9,11 @@
 //	experiments -artifact fig5        # a single figure
 //	experiments -markdown             # markdown tables (EXPERIMENTS.md input)
 //	experiments -size-scale small     # reduced inputs for a quick pass
+//	experiments -parallel 8           # warm the suite on 8 workers first
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,14 +44,47 @@ func main() {
 	maxInsts := flag.Uint64("max-insts", 400_000,
 		"timing-window warp-instruction budget per workload (0 = complete runs)")
 	md := flag.Bool("markdown", false, "emit markdown tables")
+	parallel := flag.Int("parallel", 0,
+		"workers executing the sweep concurrently (0 = serial, -1 = one per CPU)")
 	flag.Parse()
 	markdown = *md
 
 	suite := experiments.NewSuite(experiments.Options{Seed: *seed, MaxWarpInsts: *maxInsts})
-	if err := run(suite, strings.ToLower(*artifact)); err != nil {
+	a := strings.ToLower(*artifact)
+	if *parallel != 0 {
+		// Warm the suite's run caches through the worker pool; the
+		// generators below then emit in their usual serial order, so the
+		// output is byte-identical to a serial sweep no matter in which
+		// order the workloads finish.
+		fn, tm := runsNeeded(a)
+		if err := suite.Warm(context.Background(), *parallel, fn, tm); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: warm:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(suite, a); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runsNeeded reports which engines an artifact draws on, so -parallel warms
+// neither more nor less than the serial sweep would execute.
+func runsNeeded(artifact string) (functional, timing bool) {
+	fnArtifacts := map[string]bool{
+		"table1": true, "fig1": true, "fig2": true, "fig9": true,
+		"fig10": true, "fig11": true, "fig12": true,
+		// table3 resolves its column order through Table I.
+		"table3": true,
+	}
+	tmArtifacts := map[string]bool{
+		"fig3": true, "fig4": true, "fig5": true, "fig6": true,
+		"fig7": true, "fig8": true, "table3": true,
+	}
+	if artifact == "all" {
+		return true, true
+	}
+	return fnArtifacts[artifact], tmArtifacts[artifact]
 }
 
 func run(s *experiments.Suite, artifact string) error {

@@ -1,0 +1,132 @@
+// Example service is a minimal critloadd client. By default it starts an
+// in-process service on an ephemeral port (so the example is self-contained);
+// point -addr at a running daemon to use it instead:
+//
+//	go run ./examples/service
+//	go run ./cmd/critloadd &  &&  go run ./examples/service -addr localhost:8321
+//
+// It classifies a small kernel, submits the same timing job twice, and shows
+// the second submission answered from the content-addressed result cache.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"critload/internal/jobs"
+	"critload/internal/server"
+)
+
+const kernel = `
+.kernel lin
+.param .u32 a
+    mov.u32      %r0, %ctaid.x;
+    mov.u32      %r1, %ntid.x;
+    mad.u32      %r2, %r0, %r1, %tid.x;
+    ld.param.u32 %r3, [a];
+    shl.u32      %r4, %r2, 2;
+    add.u32      %r5, %r3, %r4;
+    ld.global.u32 %r6, [%r5];
+    exit;
+`
+
+func main() {
+	addr := flag.String("addr", "", "address of a running critloadd (empty = start in-process)")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string) error {
+	if addr == "" {
+		// Self-contained mode: serve the API in-process.
+		mgr, err := jobs.NewManager(jobs.Config{Runner: server.SimRunner()})
+		if err != nil {
+			return err
+		}
+		defer mgr.Close(context.Background())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go http.Serve(ln, server.New(mgr))
+		addr = ln.Addr().String()
+		fmt.Printf("started in-process service on %s\n\n", addr)
+	}
+	base := "http://" + addr
+
+	// 1. Synchronous classification.
+	resp, err := http.Post(base+"/v1/classify", "text/plain", strings.NewReader(kernel))
+	if err != nil {
+		return err
+	}
+	var classified server.ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&classified); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	for _, k := range classified.Kernels {
+		fmt.Printf("kernel %s: %d deterministic, %d non-deterministic loads\n",
+			k.Name, k.Deterministic, k.NonDeterministic)
+	}
+
+	// 2. Submit a timing job, poll to completion, read Table III counters.
+	submit := func() (jobs.JobInfo, error) {
+		body, _ := json.Marshal(map[string]any{
+			"workload": "2mm", "mode": "timing", "size": 32, "seed": 1,
+			"max_warp_insts": 20000,
+		})
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return jobs.JobInfo{}, err
+		}
+		defer resp.Body.Close()
+		var info jobs.JobInfo
+		return info, json.NewDecoder(resp.Body).Decode(&info)
+	}
+	info, err := submit()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsubmitted job %s (state %s)\n", info.ID, info.State)
+
+	var final struct {
+		jobs.JobInfo
+		Result server.RunResult `json:"result"`
+	}
+	for !final.State.Terminal() {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait_ms=30000", base, info.ID))
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&final)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if final.State != jobs.StateDone {
+		return fmt.Errorf("job ended %s: %s", final.State, final.Error)
+	}
+	fmt.Printf("done in %d ms, %d cycles\n", final.WallMillis, final.Result.Cycles)
+	fmt.Printf("gld_request=%d l1_hit=%d l1_miss=%d\n",
+		final.Result.Counters["gld_request"],
+		final.Result.Counters["l1_global_load_hit"],
+		final.Result.Counters["l1_global_load_miss"])
+
+	// 3. The same spec again: answered from the result cache, no simulation.
+	again, err := submit()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nresubmitted: state %s, cache_hit=%v\n", again.State, again.CacheHit)
+	return nil
+}

@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"critload/internal/dataflow"
 	"critload/internal/emu"
@@ -27,6 +29,10 @@ type Options struct {
 	// MaxWarpInsts bounds each timing run, mirroring the paper's
 	// first-billion-instructions simulation window (0 = run to completion).
 	MaxWarpInsts uint64
+	// MaxCycles bounds each timing run's cycle count
+	// (0 = DefaultMaxCycles), so service jobs can tighten the livelock
+	// safety net.
+	MaxCycles int64
 	// GPU is the device configuration for timing runs; zero value = Table II.
 	GPU *gpu.Config
 	// Tracer, when non-nil, receives every completed memory request of
@@ -41,12 +47,22 @@ func (o Options) names() []string {
 	return workloads.Names()
 }
 
+// DefaultMaxCycles is the timing-run cycle bound applied when Options
+// leaves MaxCycles zero: generous enough for complete paper-scale runs,
+// finite so a livelocked simulation cannot hang a sweep.
+const DefaultMaxCycles = 500_000_000
+
 func (o Options) gpuConfig() gpu.Config {
-	if o.GPU != nil {
-		return *o.GPU
-	}
 	cfg := gpu.DefaultConfig()
-	cfg.MaxCycles = 500_000_000
+	if o.GPU != nil {
+		cfg = *o.GPU
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = DefaultMaxCycles
+	}
+	if o.MaxCycles > 0 {
+		cfg.MaxCycles = o.MaxCycles
+	}
 	return cfg
 }
 
@@ -58,46 +74,81 @@ type Run struct {
 	Cycles   int64
 }
 
+// suiteCall is one singleflight execution slot: the first caller runs the
+// workload, every concurrent caller blocks on done and shares the result.
+type suiteCall struct {
+	done chan struct{}
+	r    *Run
+	err  error
+}
+
 // Suite caches one functional and one timing run per workload so that the
 // table/figure generators sharing it run each application once, the way one
-// profiling session feeds many plots in the paper.
+// profiling session feeds many plots in the paper. It is safe for concurrent
+// use: simultaneous requests for the same workload are deduplicated, so a
+// parallel sweep never simulates an application twice.
 type Suite struct {
 	Opts Options
-	fn   map[string]*Run
-	tm   map[string]*Run
+
+	mu sync.Mutex
+	fn map[string]*suiteCall
+	tm map[string]*suiteCall
 }
 
 // NewSuite builds an empty suite over the given options.
 func NewSuite(opts Options) *Suite {
-	return &Suite{Opts: opts, fn: map[string]*Run{}, tm: map[string]*Run{}}
+	return &Suite{Opts: opts, fn: map[string]*suiteCall{}, tm: map[string]*suiteCall{}}
+}
+
+// share runs exec(name) at most once per key concurrently: the first caller
+// executes, later callers wait and share. A failed call is forgotten so a
+// later retry is possible, but concurrent waiters observe the same error.
+func (s *Suite) share(ctx context.Context, m map[string]*suiteCall, name string,
+	exec func(context.Context, string, Options) (*Run, error)) (*Run, error) {
+	s.mu.Lock()
+	if c, ok := m[name]; ok {
+		s.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.r, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := &suiteCall{done: make(chan struct{})}
+	m[name] = c
+	s.mu.Unlock()
+
+	c.r, c.err = exec(ctx, name, s.Opts)
+	if c.err != nil {
+		s.mu.Lock()
+		delete(m, name)
+		s.mu.Unlock()
+	}
+	close(c.done)
+	return c.r, c.err
 }
 
 // Functional returns the cached functional run of a workload, executing it
 // on first use.
 func (s *Suite) Functional(name string) (*Run, error) {
-	if r, ok := s.fn[name]; ok {
-		return r, nil
-	}
-	r, err := RunFunctional(name, s.Opts)
-	if err != nil {
-		return nil, err
-	}
-	s.fn[name] = r
-	return r, nil
+	return s.FunctionalCtx(context.Background(), name)
+}
+
+// FunctionalCtx is Functional with cancellation between kernel launches.
+func (s *Suite) FunctionalCtx(ctx context.Context, name string) (*Run, error) {
+	return s.share(ctx, s.fn, name, RunFunctionalCtx)
 }
 
 // Timing returns the cached timing run of a workload, executing it on first
 // use.
 func (s *Suite) Timing(name string) (*Run, error) {
-	if r, ok := s.tm[name]; ok {
-		return r, nil
-	}
-	r, err := RunTiming(name, s.Opts)
-	if err != nil {
-		return nil, err
-	}
-	s.tm[name] = r
-	return r, nil
+	return s.TimingCtx(context.Background(), name)
+}
+
+// TimingCtx is Timing with cancellation between kernel launches.
+func (s *Suite) TimingCtx(ctx context.Context, name string) (*Run, error) {
+	return s.share(ctx, s.tm, name, RunTimingCtx)
 }
 
 // classifiers builds a per-kernel classifier map for an instance.
@@ -118,6 +169,13 @@ func classifiers(inst *workloads.Instance) map[string]stats.Classifier {
 // the paper's profiler-based measurements cover complete runs, and the
 // functional figures (Table I, Fig 1-2, 9-12) depend on full coverage.
 func RunFunctional(name string, opts Options) (*Run, error) {
+	return RunFunctionalCtx(context.Background(), name, opts)
+}
+
+// RunFunctionalCtx is RunFunctional with cooperative cancellation: the run
+// stops with ctx's error at the next kernel-launch boundary once ctx is
+// cancelled or past its deadline.
+func RunFunctionalCtx(ctx context.Context, name string, opts Options) (*Run, error) {
 	w, ok := workloads.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", name)
@@ -134,6 +192,9 @@ func RunFunctional(name string, opts Options) (*Run, error) {
 	}
 	inner := workloads.FunctionalExecutor(inst.Mem, listener, 0)
 	exec := func(l *emu.Launch) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		current = class[l.Kernel.Name]
 		return inner(l)
 	}
@@ -147,6 +208,12 @@ func RunFunctional(name string, opts Options) (*Run, error) {
 // warp-instruction budget is exhausted, remaining launches are skipped (the
 // statistics window closes, exactly like the paper's bounded GPGPU-Sim runs).
 func RunTiming(name string, opts Options) (*Run, error) {
+	return RunTimingCtx(context.Background(), name, opts)
+}
+
+// RunTimingCtx is RunTiming with cooperative cancellation at kernel-launch
+// boundaries, mirroring RunFunctionalCtx.
+func RunTimingCtx(ctx context.Context, name string, opts Options) (*Run, error) {
 	w, ok := workloads.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", name)
@@ -163,6 +230,9 @@ func RunTiming(name string, opts Options) (*Run, error) {
 		g.SetTracer(opts.Tracer)
 	}
 	exec := func(l *emu.Launch) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if opts.MaxWarpInsts > 0 && col.WarpInsts >= opts.MaxWarpInsts {
 			return nil // budget exhausted: close the measurement window
 		}

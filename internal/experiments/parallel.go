@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"critload/internal/jobs"
+)
+
+// Warm pre-executes the suite's selected workloads concurrently on a
+// bounded worker pool, filling the functional and/or timing run caches.
+// Generators called afterwards find every run already present and emit in
+// their usual serial order, so a parallel sweep's output is byte-identical
+// to a serial one — completion order never leaks into the artifacts.
+//
+// workers <= 0 selects one worker per CPU. Errors from all workloads are
+// joined; the remaining runs still execute (a broken workload should not
+// abort a 15-application sweep). Cancellation via ctx stops each run at its
+// next kernel-launch boundary.
+func (s *Suite) Warm(ctx context.Context, workers int, functional, timing bool) error {
+	names := s.Opts.names()
+	pool := jobs.NewPool(workers, 2*len(names))
+	var (
+		mu   sync.Mutex
+		errs = map[string]error{}
+	)
+	record := func(name string, err error) {
+		if err != nil {
+			mu.Lock()
+			errs[name] = err
+			mu.Unlock()
+		}
+	}
+	for _, name := range names {
+		name := name
+		if functional {
+			pool.Submit(func() {
+				_, err := s.FunctionalCtx(ctx, name)
+				record("functional/"+name, err)
+			})
+		}
+		if timing {
+			pool.Submit(func() {
+				_, err := s.TimingCtx(ctx, name)
+				record("timing/"+name, err)
+			})
+		}
+	}
+	pool.Close()
+
+	if len(errs) == 0 {
+		return nil
+	}
+	// Deterministic error order regardless of completion order.
+	keys := make([]string, 0, len(errs))
+	for k := range errs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	joined := make([]error, 0, len(keys))
+	for _, k := range keys {
+		joined = append(joined, errs[k])
+	}
+	return errors.Join(joined...)
+}

@@ -1,0 +1,68 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a content-addressed LRU cache mapping a Spec's Key to the
+// completed result of that simulation. Repeated sweeps over the same
+// (workload, size, seed, budget, GPU config) tuples hit the cache instead of
+// re-simulating.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+type cacheEntry struct {
+	key Key
+	val any
+}
+
+// newResultCache builds a cache holding up to capacity entries; capacity <= 0
+// disables caching entirely (every lookup misses, every insert is dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: map[Key]*list.Element{}}
+}
+
+// get returns the cached result and marks it most recently used.
+func (c *resultCache) get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// add inserts or refreshes a result, evicting the least recently used entry
+// beyond capacity.
+func (c *resultCache) add(k Key, v any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = v
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

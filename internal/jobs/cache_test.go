@@ -1,0 +1,95 @@
+package jobs
+
+import "testing"
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	tests := []struct {
+		name    string
+		cap     int
+		ops     func(c *resultCache)
+		present []byte
+		absent  []byte
+	}{
+		{
+			name: "evicts oldest beyond capacity",
+			cap:  2,
+			ops: func(c *resultCache) {
+				c.add(key(1), 1)
+				c.add(key(2), 2)
+				c.add(key(3), 3)
+			},
+			present: []byte{2, 3},
+			absent:  []byte{1},
+		},
+		{
+			name: "get refreshes recency",
+			cap:  2,
+			ops: func(c *resultCache) {
+				c.add(key(1), 1)
+				c.add(key(2), 2)
+				c.get(key(1)) // 2 is now the least recently used
+				c.add(key(3), 3)
+			},
+			present: []byte{1, 3},
+			absent:  []byte{2},
+		},
+		{
+			name: "re-adding refreshes recency without growing",
+			cap:  2,
+			ops: func(c *resultCache) {
+				c.add(key(1), 1)
+				c.add(key(2), 2)
+				c.add(key(1), 10)
+				c.add(key(3), 3)
+			},
+			present: []byte{1, 3},
+			absent:  []byte{2},
+		},
+		{
+			name: "zero capacity disables caching",
+			cap:  0,
+			ops: func(c *resultCache) {
+				c.add(key(1), 1)
+			},
+			absent: []byte{1},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := newResultCache(tt.cap)
+			tt.ops(c)
+			if tt.cap > 0 && c.len() > tt.cap {
+				t.Errorf("len = %d beyond capacity %d", c.len(), tt.cap)
+			}
+			for _, b := range tt.present {
+				if _, ok := c.get(key(b)); !ok {
+					t.Errorf("key %d missing, want present", b)
+				}
+			}
+			for _, b := range tt.absent {
+				if _, ok := c.get(key(b)); ok {
+					t.Errorf("key %d present, want evicted", b)
+				}
+			}
+		})
+	}
+}
+
+func TestResultCacheUpdatesValue(t *testing.T) {
+	c := newResultCache(4)
+	c.add(key(1), "old")
+	c.add(key(1), "new")
+	v, ok := c.get(key(1))
+	if !ok || v != "new" {
+		t.Fatalf("get = %v, %v; want new, true", v, ok)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}

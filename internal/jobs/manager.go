@@ -1,0 +1,454 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runner executes one spec and returns its result. Implementations must
+// honour ctx: return promptly (with ctx.Err()) once it is cancelled or its
+// deadline passes. The experiments-backed runner lives in internal/server;
+// tests inject lightweight fakes.
+type Runner func(ctx context.Context, spec Spec) (any, error)
+
+// State is a job's lifecycle position. Transitions are strictly
+// queued → running → {done, failed}; cancellation is reachable from queued
+// and running.
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transition is possible.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Manager errors.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrNotFound is returned for unknown job ids.
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// Config sizes a manager. Zero fields select the defaults; values beyond
+// DefaultLimits are rejected, so a mistyped flag cannot allocate an
+// unbounded queue or cache.
+type Config struct {
+	// Workers is the pool size (0 = runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds the number of executions waiting for a worker
+	// (0 = DefaultQueueDepth). Submissions beyond it fail fast with
+	// ErrQueueFull rather than blocking the API.
+	QueueDepth int
+	// CacheEntries bounds the result cache (0 = DefaultCacheEntries,
+	// < 0 disables caching).
+	CacheEntries int
+	// MaxJobs bounds retained job records; the oldest finished jobs are
+	// forgotten beyond it (0 = DefaultMaxJobs).
+	MaxJobs int
+	// Runner executes specs. Required.
+	Runner Runner
+}
+
+// Default sizes.
+const (
+	DefaultQueueDepth   = 256
+	DefaultCacheEntries = 512
+	DefaultMaxJobs      = 4096
+)
+
+// Limits are safety upper bounds on a manager configuration.
+type Limits struct {
+	MaxWorkers      int
+	MaxQueueDepth   int
+	MaxCacheEntries int
+	MaxJobs         int
+}
+
+// DefaultLimits is a conservative guard for service deployments.
+var DefaultLimits = Limits{
+	MaxWorkers:      4 * runtime.NumCPU(),
+	MaxQueueDepth:   4096,
+	MaxCacheEntries: 1 << 16,
+	MaxJobs:         1 << 16,
+}
+
+// withDefaults resolves zero fields and checks the result against limits.
+func (c Config) withDefaults(l Limits) (Config, error) {
+	if c.Runner == nil {
+		return c, fmt.Errorf("jobs: config has no runner")
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = DefaultMaxJobs
+	}
+	switch {
+	case c.Workers < 0 || c.Workers > l.MaxWorkers:
+		return c, fmt.Errorf("jobs: workers %d outside (0, %d]", c.Workers, l.MaxWorkers)
+	case c.QueueDepth < 0 || c.QueueDepth > l.MaxQueueDepth:
+		return c, fmt.Errorf("jobs: queue depth %d outside (0, %d]", c.QueueDepth, l.MaxQueueDepth)
+	case c.CacheEntries > l.MaxCacheEntries:
+		return c, fmt.Errorf("jobs: cache entries %d beyond %d", c.CacheEntries, l.MaxCacheEntries)
+	case c.MaxJobs < 0 || c.MaxJobs > l.MaxJobs:
+		return c, fmt.Errorf("jobs: max jobs %d outside (0, %d]", c.MaxJobs, l.MaxJobs)
+	}
+	return c, nil
+}
+
+// JobInfo is an immutable snapshot of one job, safe to hold across requests
+// and to serialize for the API.
+type JobInfo struct {
+	ID       string    `json:"id"`
+	Spec     Spec      `json:"spec"`
+	Key      string    `json:"key"`
+	State    State     `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	CacheHit bool      `json:"cache_hit,omitempty"`
+	Created  time.Time `json:"created"`
+	// Started and Finished are zero until the job reaches those states.
+	Started    time.Time `json:"started"`
+	Finished   time.Time `json:"finished"`
+	WallMillis int64     `json:"wall_millis"`
+	Result     any       `json:"result,omitempty"`
+}
+
+// job is the mutable record behind a JobInfo; every field is guarded by the
+// manager's mutex.
+type job struct {
+	id       string
+	spec     Spec
+	key      Key
+	state    State
+	err      error
+	result   any
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{}
+	exec     *execution
+}
+
+func (j *job) infoLocked() JobInfo {
+	info := JobInfo{
+		ID: j.id, Spec: j.spec, Key: j.key.String(), State: j.state,
+		CacheHit: j.cacheHit, Created: j.created, Started: j.started,
+		Finished: j.finished, Result: j.result,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		info.WallMillis = j.finished.Sub(j.started).Milliseconds()
+	}
+	return info
+}
+
+// execution is one scheduled runner invocation; concurrent submissions of
+// the same key attach to a single execution (singleflight) so the simulator
+// runs each distinct spec at most once at a time.
+type execution struct {
+	spec    Spec
+	key     Key
+	ctx     context.Context
+	cancel  context.CancelFunc
+	started bool
+	jobs    []*job // attached, in submission order
+}
+
+// Manager owns the job registry, the worker pool, the in-flight dedup table
+// and the result cache.
+type Manager struct {
+	cfg   Config
+	pool  *Pool
+	cache *resultCache
+	c     counters
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	inflight  map[Key]*execution
+	doneOrder []string // finished job ids, oldest first, for retention
+	nextID    int64
+	closed    bool
+}
+
+// NewManager builds and starts a manager; callers must Close it.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg, err := cfg.withDefaults(DefaultLimits)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:      cfg,
+		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheEntries),
+		jobs:     map[string]*job{},
+		inflight: map[Key]*execution{},
+	}, nil
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats { return m.c.snapshot() }
+
+// Submit validates and enqueues a job, returning its initial snapshot. A
+// cached result completes the job immediately; a matching in-flight
+// execution is joined instead of re-simulated; otherwise the spec is queued
+// on the pool, failing fast with ErrQueueFull when it is saturated.
+func (m *Manager) Submit(spec Spec) (JobInfo, error) {
+	if err := spec.Validate(); err != nil {
+		return JobInfo{}, err
+	}
+	key := spec.Key()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobInfo{}, ErrClosed
+	}
+	m.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j%08d", m.nextID),
+		spec:    spec,
+		key:     key,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+
+	if v, ok := m.cache.get(key); ok {
+		m.registerLocked(j)
+		m.c.cacheHits.Add(1)
+		j.cacheHit = true
+		m.finalizeLocked(j, StateDone, v, nil)
+		return j.infoLocked(), nil
+	}
+	m.c.cacheMisses.Add(1)
+
+	if e, ok := m.inflight[key]; ok {
+		m.registerLocked(j)
+		m.c.deduped.Add(1)
+		j.exec = e
+		e.jobs = append(e.jobs, j)
+		if e.started {
+			j.state = StateRunning
+			j.started = time.Now()
+			m.c.queued.Add(-1)
+			m.c.running.Add(1)
+		}
+		return j.infoLocked(), nil
+	}
+
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if spec.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	e := &execution{spec: spec, key: key, ctx: ctx, cancel: cancel, jobs: []*job{j}}
+	if err := m.pool.TrySubmit(func() { m.run(e) }); err != nil {
+		cancel()
+		return JobInfo{}, err
+	}
+	j.exec = e
+	m.inflight[key] = e
+	m.registerLocked(j)
+	return j.infoLocked(), nil
+}
+
+// registerLocked adds the job to the registry and the queued gauge (every
+// job passes through queued, if only for an instant on a cache hit).
+func (m *Manager) registerLocked(j *job) {
+	m.jobs[j.id] = j
+	m.c.submitted.Add(1)
+	m.c.queued.Add(1)
+}
+
+// run executes one singleflight execution on a pool worker.
+func (m *Manager) run(e *execution) {
+	defer e.cancel()
+
+	m.mu.Lock()
+	if e.ctx.Err() != nil || len(e.jobs) == 0 {
+		// Cancelled (or abandoned) while still queued: never invoke the
+		// runner.
+		delete(m.inflight, e.key)
+		for _, j := range e.jobs {
+			m.finalizeLocked(j, StateCancelled, nil, e.ctx.Err())
+		}
+		m.mu.Unlock()
+		return
+	}
+	e.started = true
+	now := time.Now()
+	for _, j := range e.jobs {
+		j.state = StateRunning
+		j.started = now
+		m.c.queued.Add(-1)
+		m.c.running.Add(1)
+	}
+	ctx, spec := e.ctx, e.spec
+	m.mu.Unlock()
+
+	m.c.executions.Add(1)
+	t0 := time.Now()
+	res, err := m.cfg.Runner(ctx, spec)
+	m.c.wallNanos.Add(uint64(time.Since(t0)))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.inflight, e.key)
+	if err == nil {
+		m.cache.add(e.key, res)
+	}
+	for _, j := range e.jobs {
+		switch {
+		case err == nil:
+			m.finalizeLocked(j, StateDone, res, nil)
+		case errors.Is(err, context.Canceled):
+			m.finalizeLocked(j, StateCancelled, nil, err)
+		default:
+			m.finalizeLocked(j, StateFailed, nil, err)
+		}
+	}
+}
+
+// finalizeLocked moves a job to a terminal state, settles the gauges, wakes
+// waiters and trims the registry to the retention bound.
+func (m *Manager) finalizeLocked(j *job, s State, res any, err error) {
+	switch j.state {
+	case StateQueued:
+		m.c.queued.Add(-1)
+	case StateRunning:
+		m.c.running.Add(-1)
+	}
+	j.state = s
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	j.exec = nil
+	close(j.done)
+	switch s {
+	case StateDone:
+		m.c.completed.Add(1)
+	case StateFailed:
+		m.c.failed.Add(1)
+	case StateCancelled:
+		m.c.cancelled.Add(1)
+	}
+	m.doneOrder = append(m.doneOrder, j.id)
+	for len(m.jobs) > m.cfg.MaxJobs && len(m.doneOrder) > 0 {
+		delete(m.jobs, m.doneOrder[0])
+		m.doneOrder = m.doneOrder[1:]
+	}
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (JobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	return j.infoLocked(), nil
+}
+
+// Cancel detaches a job from its execution and marks it cancelled; when the
+// last interested job cancels, the execution's context is cancelled too so
+// a ctx-honouring runner stops mid-run. Cancelling a finished job is a
+// no-op returning its final snapshot.
+func (m *Manager) Cancel(id string) (JobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	if j.state.Terminal() {
+		return j.infoLocked(), nil
+	}
+	if e := j.exec; e != nil {
+		live := e.jobs[:0]
+		for _, other := range e.jobs {
+			if other != j {
+				live = append(live, other)
+			}
+		}
+		e.jobs = live
+		if len(e.jobs) == 0 {
+			e.cancel()
+		}
+	}
+	m.finalizeLocked(j, StateCancelled, nil, context.Canceled)
+	return j.infoLocked(), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires, then
+// returns its snapshot.
+func (m *Manager) Wait(ctx context.Context, id string) (JobInfo, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return JobInfo{}, ErrNotFound
+	}
+	done := j.done
+	m.mu.Unlock()
+	select {
+	case <-done:
+		return m.Get(id)
+	case <-ctx.Done():
+		info, _ := m.Get(id)
+		return info, ctx.Err()
+	}
+}
+
+// Close stops accepting jobs and drains the pool: running and queued
+// executions complete. If ctx expires first, every in-flight execution's
+// context is cancelled and Close waits for the (now aborting) workers
+// before returning ctx's error.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.pool.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, e := range m.inflight {
+			e.cancel()
+		}
+		m.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,83 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"critload/internal/gpu"
+)
+
+func TestSpecKeyDerivation(t *testing.T) {
+	base := Spec{Workload: "bfs", Mode: ModeTiming, Size: 1024, Seed: 7, MaxWarpInsts: 400_000}
+	cfg := gpu.DefaultConfig()
+	bigger := cfg
+	bigger.NumSMs = 28
+
+	tests := []struct {
+		name string
+		a, b Spec
+		same bool
+	}{
+		{"identical specs", base, base, true},
+		{"timeout excluded from key",
+			base, with(base, func(s *Spec) { s.Timeout = time.Minute }), true},
+		{"different workload",
+			base, with(base, func(s *Spec) { s.Workload = "sssp" }), false},
+		{"different mode",
+			base, with(base, func(s *Spec) { s.Mode = ModeFunctional }), false},
+		{"different size",
+			base, with(base, func(s *Spec) { s.Size = 2048 }), false},
+		{"different seed",
+			base, with(base, func(s *Spec) { s.Seed = 8 }), false},
+		{"different instruction budget",
+			base, with(base, func(s *Spec) { s.MaxWarpInsts = 100 }), false},
+		{"different cycle bound",
+			base, with(base, func(s *Spec) { s.MaxCycles = 1000 }), false},
+		{"explicit default GPU differs from nil",
+			base, with(base, func(s *Spec) { s.GPU = &cfg }), false},
+		{"different GPU configs",
+			with(base, func(s *Spec) { s.GPU = &cfg }),
+			with(base, func(s *Spec) { s.GPU = &bigger }), false},
+		{"functional runs ignore the timing knobs",
+			Spec{Workload: "bfs", Mode: ModeFunctional, Size: 1024, Seed: 7},
+			Spec{Workload: "bfs", Mode: ModeFunctional, Size: 1024, Seed: 7,
+				MaxWarpInsts: 9, MaxCycles: 9, GPU: &bigger},
+			true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ka, kb := tt.a.Key(), tt.b.Key()
+			if (ka == kb) != tt.same {
+				t.Errorf("keys %s / %s: equal=%v, want %v", ka, kb, ka == kb, tt.same)
+			}
+		})
+	}
+}
+
+func with(s Spec, mut func(*Spec)) Spec {
+	mut(&s)
+	return s
+}
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"valid functional", Spec{Workload: "bfs", Mode: ModeFunctional}, true},
+		{"valid timing", Spec{Workload: "2mm", Mode: ModeTiming, Size: 32}, true},
+		{"missing workload", Spec{Mode: ModeTiming}, false},
+		{"unknown mode", Spec{Workload: "bfs", Mode: "warp-speed"}, false},
+		{"negative size", Spec{Workload: "bfs", Mode: ModeTiming, Size: -1}, false},
+		{"negative timeout", Spec{Workload: "bfs", Mode: ModeTiming, Timeout: -time.Second}, false},
+		{"bad gpu config", Spec{Workload: "bfs", Mode: ModeTiming, GPU: &gpu.Config{}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.spec.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}

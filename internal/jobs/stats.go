@@ -1,0 +1,49 @@
+package jobs
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of a manager's counters, in the spirit
+// of a connection pool's stats block: lifetime counters first, current-state
+// gauges after. All fields are plain values; the live counters behind them
+// are updated atomically and are safe to read concurrently with job traffic.
+type Stats struct {
+	// Lifetime counters.
+	Submitted   uint64 `json:"submitted"`    // jobs accepted by Submit
+	Completed   uint64 `json:"completed"`    // jobs finished successfully
+	Failed      uint64 `json:"failed"`       // jobs finished with an error
+	Cancelled   uint64 `json:"cancelled"`    // jobs cancelled before completing
+	CacheHits   uint64 `json:"cache_hits"`   // submissions answered from the result cache
+	CacheMisses uint64 `json:"cache_misses"` // submissions that scheduled or joined an execution
+	Deduped     uint64 `json:"deduped"`      // submissions that joined an in-flight execution
+	Executions  uint64 `json:"executions"`   // actual runner invocations
+	WallNanos   uint64 `json:"wall_nanos"`   // total runner wall time
+
+	// Current-state gauges.
+	Queued  int64 `json:"queued"`  // jobs waiting for a worker
+	Running int64 `json:"running"` // jobs currently executing
+}
+
+// counters is the live, atomically updated backing store for Stats.
+type counters struct {
+	submitted, completed, failed, cancelled atomic.Uint64
+	cacheHits, cacheMisses                  atomic.Uint64
+	deduped, executions, wallNanos          atomic.Uint64
+	queued, running                         atomic.Int64
+}
+
+// snapshot copies the counters into an immutable Stats value.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Submitted:   c.submitted.Load(),
+		Completed:   c.completed.Load(),
+		Failed:      c.failed.Load(),
+		Cancelled:   c.cancelled.Load(),
+		CacheHits:   c.cacheHits.Load(),
+		CacheMisses: c.cacheMisses.Load(),
+		Deduped:     c.deduped.Load(),
+		Executions:  c.executions.Load(),
+		WallNanos:   c.wallNanos.Load(),
+		Queued:      c.queued.Load(),
+		Running:     c.running.Load(),
+	}
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"critload/internal/dataflow"
+	"critload/internal/jobs"
+	"critload/internal/ptx"
+	"critload/internal/workloads"
+)
+
+// maxRequestBytes bounds every request body; PTX sources and job specs are
+// small, so anything larger is a client error, not a workload.
+const maxRequestBytes = 4 << 20
+
+// Server is the critloadd HTTP API.
+//
+//	POST   /v1/classify      classify a PTX source's global loads (synchronous)
+//	POST   /v1/jobs          submit a functional or timing simulation job
+//	GET    /v1/jobs/{id}     poll a job (optionally ?wait_ms=N)
+//	DELETE /v1/jobs/{id}     cancel a job
+//	GET    /v1/workloads     list the built-in Table I workloads
+//	GET    /healthz          liveness
+//	GET    /metrics          job, cache and queue counters (text)
+type Server struct {
+	mgr   *jobs.Manager
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New wires the API around a job manager.
+func New(mgr *jobs.Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON emits one JSON response; encoding errors at this point can only
+// be I/O failures on a hung client, so they are dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/classify
+
+// classifyRequest carries a PTX-subset source. Clients may also send the
+// raw source directly with a text/* content type.
+type classifyRequest struct {
+	PTX string `json:"ptx"`
+}
+
+// RootJSON is one primitive contributor to a load address.
+type RootJSON struct {
+	Kind string `json:"kind"`
+	Name string `json:"name,omitempty"`
+}
+
+// LoadJSON is the classification of one global load instruction.
+type LoadJSON struct {
+	PC    string     `json:"pc"`
+	Inst  string     `json:"inst"`
+	Class string     `json:"class"`
+	Roots []RootJSON `json:"roots"`
+}
+
+// KernelJSON is one kernel's classification result.
+type KernelJSON struct {
+	Name             string     `json:"name"`
+	Deterministic    int        `json:"deterministic"`
+	NonDeterministic int        `json:"non_deterministic"`
+	Loads            []LoadJSON `json:"loads"`
+}
+
+// ClassifyResponse is the full program classification.
+type ClassifyResponse struct {
+	Kernels []KernelJSON `json:"kernels"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	src := string(body)
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "json") {
+		var req classifyRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		src = req.PTX
+	}
+	if strings.TrimSpace(src) == "" {
+		writeError(w, http.StatusBadRequest, "empty PTX source")
+		return
+	}
+	prog, err := ptx.Parse(src)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "parsing PTX: %v", err)
+		return
+	}
+	resp := ClassifyResponse{Kernels: []KernelJSON{}}
+	for _, k := range prog.Kernels {
+		res := dataflow.Classify(k)
+		det, nondet := res.Counts()
+		kj := KernelJSON{
+			Name: k.Name, Deterministic: det, NonDeterministic: nondet,
+			Loads: []LoadJSON{},
+		}
+		for _, l := range res.Loads {
+			lj := LoadJSON{
+				PC:    fmt.Sprintf("0x%03x", l.PC),
+				Inst:  k.Insts[l.InstIndex].String(),
+				Class: l.Class.String(),
+				Roots: []RootJSON{},
+			}
+			for _, root := range l.Roots {
+				lj.Roots = append(lj.Roots, RootJSON{Kind: root.Kind.String(), Name: root.Name})
+			}
+			kj.Loads = append(kj.Loads, lj)
+		}
+		resp.Kernels = append(resp.Kernels, kj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/jobs, GET/DELETE /v1/jobs/{id}
+
+// jobRequest is the submission payload; it mirrors jobs.Spec with a
+// millisecond timeout for JSON ergonomics.
+type jobRequest struct {
+	Workload      string `json:"workload"`
+	Mode          string `json:"mode"`
+	Size          int    `json:"size"`
+	Seed          int64  `json:"seed"`
+	MaxWarpInsts  uint64 `json:"max_warp_insts"`
+	MaxCycles     int64  `json:"max_cycles"`
+	TimeoutMillis int64  `json:"timeout_ms"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if _, ok := workloads.Get(req.Workload); !ok {
+		writeError(w, http.StatusBadRequest, "unknown workload %q", req.Workload)
+		return
+	}
+	spec := jobs.Spec{
+		Workload:     req.Workload,
+		Mode:         jobs.Mode(req.Mode),
+		Size:         req.Size,
+		Seed:         req.Seed,
+		MaxWarpInsts: req.MaxWarpInsts,
+		MaxCycles:    req.MaxCycles,
+		Timeout:      time.Duration(req.TimeoutMillis) * time.Millisecond,
+	}
+	info, err := s.mgr.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, info)
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "queue full")
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if waitMS := r.URL.Query().Get("wait_ms"); waitMS != "" {
+		ms, err := strconv.ParseInt(waitMS, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait_ms %q", waitMS)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+		defer cancel()
+		// A wait that times out is not an error: the client gets the
+		// job's current (non-terminal) snapshot and polls again.
+		info, err := s.mgr.Wait(ctx, id)
+		if errors.Is(err, jobs.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "no job %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	info, err := s.mgr.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	info, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/workloads, /healthz, /metrics
+
+// workloadJSON is one built-in benchmark listing.
+type workloadJSON struct {
+	Name        string `json:"name"`
+	Category    string `json:"category"`
+	Description string `json:"description"`
+	DataSet     string `json:"data_set"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	out := []workloadJSON{}
+	for _, wl := range workloads.All() {
+		out = append(out, workloadJSON{
+			Name: wl.Name, Category: wl.Category.String(),
+			Description: wl.Description, DataSet: wl.DataSet,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.mgr.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "critloadd_jobs_submitted_total %d\n", st.Submitted)
+	fmt.Fprintf(w, "critloadd_jobs_completed_total %d\n", st.Completed)
+	fmt.Fprintf(w, "critloadd_jobs_failed_total %d\n", st.Failed)
+	fmt.Fprintf(w, "critloadd_jobs_cancelled_total %d\n", st.Cancelled)
+	fmt.Fprintf(w, "critloadd_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(w, "critloadd_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintf(w, "critloadd_jobs_deduped_total %d\n", st.Deduped)
+	fmt.Fprintf(w, "critloadd_executions_total %d\n", st.Executions)
+	fmt.Fprintf(w, "critloadd_job_wall_seconds_total %.3f\n", float64(st.WallNanos)/1e9)
+	fmt.Fprintf(w, "critloadd_queue_depth %d\n", st.Queued)
+	fmt.Fprintf(w, "critloadd_jobs_running %d\n", st.Running)
+	fmt.Fprintf(w, "critloadd_uptime_seconds %.0f\n", time.Since(s.start).Seconds())
+}

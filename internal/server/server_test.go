@@ -1,0 +1,331 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"critload/internal/jobs"
+	"critload/internal/server"
+)
+
+// newService spins up the HTTP API over a manager with the given runner and
+// worker count, tearing both down with the test.
+func newService(t *testing.T, runner jobs.Runner, workers int) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	mgr, err := jobs.NewManager(jobs.Config{Workers: workers, Runner: runner})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	ts := httptest.NewServer(server.New(mgr))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Close(ctx)
+	})
+	return ts, mgr
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	var body map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", code)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("healthz body = %v", body)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	text := string(b)
+	for _, metric := range []string{
+		"critloadd_jobs_submitted_total", "critloadd_jobs_completed_total",
+		"critloadd_jobs_failed_total", "critloadd_jobs_cancelled_total",
+		"critloadd_cache_hits_total", "critloadd_cache_misses_total",
+		"critloadd_queue_depth", "critloadd_jobs_running",
+		"critloadd_job_wall_seconds_total",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("metrics output missing %s:\n%s", metric, text)
+		}
+	}
+}
+
+func TestWorkloadsListing(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	var list []map[string]string
+	if code := getJSON(t, ts.URL+"/v1/workloads", &list); code != http.StatusOK {
+		t.Fatalf("workloads = %d, want 200", code)
+	}
+	if len(list) != 15 {
+		t.Fatalf("listed %d workloads, want the paper's 15", len(list))
+	}
+}
+
+const classifySrc = `
+.kernel lin
+.param .u32 a
+    mov.u32      %r0, %ctaid.x;
+    mov.u32      %r1, %ntid.x;
+    mad.u32      %r2, %r0, %r1, %tid.x;
+    ld.param.u32 %r3, [a];
+    shl.u32      %r4, %r2, 2;
+    add.u32      %r5, %r3, %r4;
+    ld.global.u32 %r6, [%r5];
+    exit;
+`
+
+func TestClassifyJSONBody(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	var resp server.ClassifyResponse
+	code := postJSON(t, ts.URL+"/v1/classify", map[string]string{"ptx": classifySrc}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("classify = %d, want 200", code)
+	}
+	if len(resp.Kernels) != 1 || resp.Kernels[0].Name != "lin" {
+		t.Fatalf("kernels = %+v", resp.Kernels)
+	}
+	k := resp.Kernels[0]
+	if k.Deterministic != 1 || k.NonDeterministic != 0 || len(k.Loads) != 1 {
+		t.Fatalf("classification = %+v, want one deterministic load", k)
+	}
+	if k.Loads[0].Class != "deterministic" {
+		t.Fatalf("load class = %q", k.Loads[0].Class)
+	}
+	var haveParamRoot bool
+	for _, r := range k.Loads[0].Roots {
+		if r.Kind == "param" && r.Name == "a" {
+			haveParamRoot = true
+		}
+	}
+	if !haveParamRoot {
+		t.Fatalf("roots = %+v, want param 'a'", k.Loads[0].Roots)
+	}
+}
+
+func TestClassifyRawBody(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	resp, err := http.Post(ts.URL+"/v1/classify", "text/plain", strings.NewReader(classifySrc))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw classify = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	if code := postJSON(t, ts.URL+"/v1/classify", map[string]string{"ptx": ""}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty source = %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/classify", map[string]string{"ptx": "not ptx at all ;"}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("junk source = %d, want 422", code)
+	}
+}
+
+// TestJobRoundTrip drives the acceptance path end to end over HTTP: submit a
+// timing job, poll it to completion, and read the Table III counters and the
+// stats summary out of the result JSON.
+func TestJobRoundTrip(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 2)
+	var submitted jobs.JobInfo
+	code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"workload": "2mm", "mode": "timing", "size": 32, "seed": 1,
+		"max_warp_insts": 20000,
+	}, &submitted)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	if submitted.ID == "" || submitted.State.Terminal() {
+		t.Fatalf("submitted = %+v, want a live job", submitted)
+	}
+
+	var final struct {
+		jobs.JobInfo
+		Result server.RunResult `json:"result"`
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code := getJSON(t, fmt.Sprintf("%s/v1/jobs/%s?wait_ms=2000", ts.URL, submitted.ID), &final)
+		if code != http.StatusOK {
+			t.Fatalf("poll = %d, want 200", code)
+		}
+		if final.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", final.State)
+		}
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("final state = %q (error %q), want done", final.State, final.Error)
+	}
+	if final.Result.Cycles <= 0 {
+		t.Errorf("cycles = %d, want > 0", final.Result.Cycles)
+	}
+	if got := final.Result.Counters["gld_request"]; got == 0 {
+		t.Errorf("gld_request = 0, want > 0")
+	}
+	if final.Result.Summary.WarpInsts == 0 {
+		t.Errorf("summary warp_insts = 0, want > 0")
+	}
+	if final.Result.Workload != "2mm" || final.Result.Mode != jobs.ModeTiming {
+		t.Errorf("result identity = %s/%s", final.Result.Workload, final.Result.Mode)
+	}
+}
+
+// TestConcurrentJobsSingleExecution is the dedup acceptance test: four
+// concurrent submissions of the same workload must produce exactly one
+// simulator execution, the rest served by singleflight or the result cache.
+func TestConcurrentJobsSingleExecution(t *testing.T) {
+	ts, mgr := newService(t, server.SimRunner(), 4)
+	const n = 4
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			var info jobs.JobInfo
+			code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+				"workload": "2mm", "mode": "functional", "size": 64, "seed": 9,
+			}, &info)
+			if code != http.StatusAccepted {
+				t.Errorf("submit %d = %d, want 202", i, code)
+				return
+			}
+			ids[i] = info.ID
+		}()
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("missing job id")
+		}
+		final, err := mgr.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("Wait(%s): %v", id, err)
+		}
+		if final.State != jobs.StateDone {
+			t.Fatalf("job %s = %q (error %q), want done", id, final.State, final.Error)
+		}
+	}
+	if st := mgr.Stats(); st.Executions != 1 {
+		t.Fatalf("executions = %d, want exactly 1 (stats %+v)", st.Executions, st)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	if code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"workload": "nope", "mode": "timing",
+	}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown workload = %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"workload": "bfs", "mode": "warp-speed",
+	}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown mode = %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"workload": "bfs", "mode": "timing", "bogus_field": 1,
+	}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown field = %d, want 400", code)
+	}
+}
+
+func TestGetUnknownJob(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	if code := getJSON(t, ts.URL+"/v1/jobs/j-missing", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", code)
+	}
+}
+
+func TestCancelJobOverHTTP(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	runner := func(ctx context.Context, spec jobs.Spec) (any, error) {
+		select {
+		case <-block:
+			return "unreachable", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	ts, _ := newService(t, runner, 1)
+	var info jobs.JobInfo
+	if code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"workload": "bfs", "mode": "functional",
+	}, &info); code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+info.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	defer resp.Body.Close()
+	var cancelled jobs.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&cancelled); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || cancelled.State != jobs.StateCancelled {
+		t.Fatalf("cancel = %d %+v, want 200 cancelled", resp.StatusCode, cancelled)
+	}
+}

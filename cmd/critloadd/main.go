@@ -1,14 +1,17 @@
 // Command critloadd serves the paper's classification-and-simulation
 // pipeline over HTTP: synchronous PTX load classification, asynchronous
 // functional/timing simulation jobs on a bounded worker pool, a
-// content-addressed result cache, and text metrics. See docs/SERVICE.md for
-// the API contract.
+// content-addressed result cache, Prometheus metrics and structured access
+// logs with per-request IDs. See docs/SERVICE.md for the API contract and
+// the operating guide.
 //
 // Usage:
 //
 //	critloadd                         # listen on :8321, one worker per CPU
 //	critloadd -addr :9000 -workers 4  # custom bind and pool size
 //	critloadd -cache 1024 -queue 512  # larger result cache and job queue
+//	critloadd -log-format json        # machine-readable logs
+//	critloadd -pprof localhost:6060   # expose net/http/pprof separately
 package main
 
 import (
@@ -16,14 +19,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"critload/internal/jobs"
+	"critload/internal/obsv"
 	"critload/internal/server"
 )
 
@@ -35,15 +40,20 @@ func main() {
 		"result cache entries (negative disables caching)")
 	grace := flag.Duration("grace", 30*time.Second,
 		"shutdown grace period for draining running jobs")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *cacheEntries, *grace); err != nil {
+	log := obsv.NewLogger(os.Stderr, *logFormat, obsv.ParseLevel(*logLevel))
+	if err := run(log, *addr, *pprofAddr, *workers, *queue, *cacheEntries, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "critloadd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cacheEntries int, grace time.Duration) error {
+func run(log *slog.Logger, addr, pprofAddr string, workers, queue, cacheEntries int, grace time.Duration) error {
 	mgr, err := jobs.NewManager(jobs.Config{
 		Workers:      workers,
 		QueueDepth:   queue,
@@ -56,16 +66,27 @@ func run(addr string, workers, queue, cacheEntries int, grace time.Duration) err
 
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(mgr),
+		Handler:           server.New(mgr, server.WithLogger(log)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if pprofAddr != "" {
+		pprofSrv := pprofServer(pprofAddr)
+		defer pprofSrv.Close()
+		go func() {
+			log.Info("pprof listening", "addr", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Error("pprof server", "error", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("critloadd: listening on %s (%d workers)", addr, workers)
+		log.Info("listening", "addr", addr, "workers", workers, "queue", queue, "cache", cacheEntries)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -78,15 +99,27 @@ func run(addr string, workers, queue, cacheEntries int, grace time.Duration) err
 	// Graceful shutdown: stop accepting connections, then drain the pool;
 	// running jobs get the full grace period before their contexts are
 	// cancelled.
-	log.Printf("critloadd: shutting down, draining jobs (grace %s)", grace)
+	log.Info("shutting down, draining jobs", "grace", grace)
 	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(graceCtx); err != nil {
-		log.Printf("critloadd: http shutdown: %v", err)
+		log.Warn("http shutdown", "error", err)
 	}
 	if err := mgr.Close(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
 		return fmt.Errorf("draining jobs: %w", err)
 	}
-	log.Printf("critloadd: drained")
+	log.Info("drained")
 	return nil
+}
+
+// pprofServer builds the profiling endpoint on its own mux and listener so
+// the profiler is never exposed on the public API address.
+func pprofServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 }

@@ -38,6 +38,12 @@ type Options struct {
 	// Tracer, when non-nil, receives every completed memory request of
 	// timing runs (see the trace package).
 	Tracer sm.Tracer
+	// Progress, when non-nil, receives a heartbeat at every kernel-launch
+	// boundary: the simulated cycle count so far (always 0 for functional
+	// runs, which have no clock) and warp instructions executed. The
+	// service layer forwards it to jobs.ReportProgress so a long run's
+	// position is visible on its API snapshot.
+	Progress func(cycles int64, warpInsts uint64)
 }
 
 func (o Options) names() []string {
@@ -195,11 +201,17 @@ func RunFunctionalCtx(ctx context.Context, name string, opts Options) (*Run, err
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if opts.Progress != nil {
+			opts.Progress(0, col.WarpInsts)
+		}
 		current = class[l.Kernel.Name]
 		return inner(l)
 	}
 	if err := inst.Run(exec); err != nil {
 		return nil, fmt.Errorf("experiments: %s run: %w", name, err)
+	}
+	if opts.Progress != nil {
+		opts.Progress(0, col.WarpInsts)
 	}
 	return &Run{Workload: w, Instance: inst, Col: col}, nil
 }
@@ -233,6 +245,9 @@ func RunTimingCtx(ctx context.Context, name string, opts Options) (*Run, error) 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if opts.Progress != nil {
+			opts.Progress(g.Cycle(), col.WarpInsts)
+		}
 		if opts.MaxWarpInsts > 0 && col.WarpInsts >= opts.MaxWarpInsts {
 			return nil // budget exhausted: close the measurement window
 		}
@@ -240,6 +255,9 @@ func RunTimingCtx(ctx context.Context, name string, opts Options) (*Run, error) 
 	}
 	if err := inst.Run(exec); err != nil {
 		return nil, fmt.Errorf("experiments: %s timing run: %w", name, err)
+	}
+	if opts.Progress != nil {
+		opts.Progress(g.Cycle(), col.WarpInsts)
 	}
 	return &Run{Workload: w, Instance: inst, Col: col, Cycles: g.Cycle()}, nil
 }

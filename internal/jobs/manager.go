@@ -5,15 +5,25 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Runner executes one spec and returns its result. Implementations must
 // honour ctx: return promptly (with ctx.Err()) once it is cancelled or its
 // deadline passes. The experiments-backed runner lives in internal/server;
-// tests inject lightweight fakes.
+// tests inject lightweight fakes. A runner that panics does not kill the
+// worker: the manager recovers it into a *PanicError and fails the job.
+// Runners may call ReportProgress(ctx, ...) to surface a heartbeat on the
+// job's API snapshot.
 type Runner func(ctx context.Context, spec Spec) (any, error)
+
+// ExecutionObserver receives one callback per actual runner invocation with
+// its wall-clock duration and outcome — the hook the service layer feeds
+// its job-latency histograms from.
+type ExecutionObserver func(spec Spec, wall time.Duration, err error)
 
 // State is a job's lifecycle position. Transitions are strictly
 // queued → running → {done, failed}; cancellation is reachable from queued
@@ -126,10 +136,16 @@ type JobInfo struct {
 	CacheHit bool      `json:"cache_hit,omitempty"`
 	Created  time.Time `json:"created"`
 	// Started and Finished are zero until the job reaches those states.
-	Started    time.Time `json:"started"`
-	Finished   time.Time `json:"finished"`
-	WallMillis int64     `json:"wall_millis"`
-	Result     any       `json:"result,omitempty"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// QueuedMillis is the time spent waiting for a worker; WallMillis the
+	// time spent executing.
+	QueuedMillis int64 `json:"queued_millis"`
+	WallMillis   int64 `json:"wall_millis"`
+	// Progress is the runner's latest heartbeat, present only while the job
+	// is running and the runner has reported.
+	Progress *Progress `json:"progress,omitempty"`
+	Result   any       `json:"result,omitempty"`
 }
 
 // job is the mutable record behind a JobInfo; every field is guarded by the
@@ -158,8 +174,14 @@ func (j *job) infoLocked() JobInfo {
 	if j.err != nil {
 		info.Error = j.err.Error()
 	}
+	if !j.started.IsZero() {
+		info.QueuedMillis = j.started.Sub(j.created).Milliseconds()
+	}
 	if !j.finished.IsZero() && !j.started.IsZero() {
 		info.WallMillis = j.finished.Sub(j.started).Milliseconds()
+	}
+	if j.state == StateRunning && j.exec != nil && j.exec.progress != nil {
+		info.Progress = j.exec.progress.snapshot()
 	}
 	return info
 }
@@ -168,12 +190,13 @@ func (j *job) infoLocked() JobInfo {
 // the same key attach to a single execution (singleflight) so the simulator
 // runs each distinct spec at most once at a time.
 type execution struct {
-	spec    Spec
-	key     Key
-	ctx     context.Context
-	cancel  context.CancelFunc
-	started bool
-	jobs    []*job // attached, in submission order
+	spec     Spec
+	key      Key
+	ctx      context.Context
+	cancel   context.CancelFunc
+	started  bool
+	progress *progressTracker // set when the execution starts
+	jobs     []*job           // attached, in submission order
 }
 
 // Manager owns the job registry, the worker pool, the in-flight dedup table
@@ -183,6 +206,7 @@ type Manager struct {
 	pool  *Pool
 	cache *resultCache
 	c     counters
+	obs   atomic.Pointer[ExecutionObserver]
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -209,6 +233,17 @@ func NewManager(cfg Config) (*Manager, error) {
 
 // Stats snapshots the manager's counters.
 func (m *Manager) Stats() Stats { return m.c.snapshot() }
+
+// SetExecutionObserver installs (or, with nil, removes) the callback that
+// receives every runner invocation's duration and outcome. The service
+// layer uses it to feed latency histograms; at most one observer is active.
+func (m *Manager) SetExecutionObserver(fn ExecutionObserver) {
+	if fn == nil {
+		m.obs.Store(nil)
+		return
+	}
+	m.obs.Store(&fn)
+}
 
 // Submit validates and enqueues a job, returning its initial snapshot. A
 // cached result completes the job immediately; a matching in-flight
@@ -299,19 +334,24 @@ func (m *Manager) run(e *execution) {
 	}
 	e.started = true
 	now := time.Now()
+	e.progress = newProgressTracker(now)
 	for _, j := range e.jobs {
 		j.state = StateRunning
 		j.started = now
 		m.c.queued.Add(-1)
 		m.c.running.Add(1)
 	}
-	ctx, spec := e.ctx, e.spec
+	ctx, spec := withProgress(e.ctx, e.progress), e.spec
 	m.mu.Unlock()
 
 	m.c.executions.Add(1)
 	t0 := time.Now()
-	res, err := m.cfg.Runner(ctx, spec)
-	m.c.wallNanos.Add(uint64(time.Since(t0)))
+	res, err := m.invoke(ctx, spec)
+	wall := time.Since(t0)
+	m.c.wallNanos.Add(uint64(wall))
+	if obs := m.obs.Load(); obs != nil {
+		(*obs)(spec, wall, err)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -329,6 +369,20 @@ func (m *Manager) run(e *execution) {
 			m.finalizeLocked(j, StateFailed, nil, err)
 		}
 	}
+}
+
+// invoke runs the configured runner with panic containment: a panicking
+// simulation is recovered into a *PanicError (value + stack) so the worker
+// survives and every attached job fails with a debuggable message instead
+// of the panic unwinding the daemon.
+func (m *Manager) invoke(ctx context.Context, spec Spec) (res any, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			m.c.panics.Add(1)
+			res, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return m.cfg.Runner(ctx, spec)
 }
 
 // finalizeLocked moves a job to a terminal state, settles the gauges, wakes

@@ -116,6 +116,126 @@ func TestJobFailureIsNotCached(t *testing.T) {
 	}
 }
 
+// TestRunnerPanicBecomesFailedJob is the crash-containment contract: a
+// panicking simulation must surface as a failed job carrying the panic
+// message and stack, the worker must survive to run the next job, and the
+// result cache must not memoise the wreckage.
+func TestRunnerPanicBecomesFailedJob(t *testing.T) {
+	m := newManager(t, Config{Workers: 1, Runner: func(ctx context.Context, s Spec) (any, error) {
+		if s.Workload == "bfs" {
+			panic("simulated cache corruption")
+		}
+		return s.Workload + "-result", nil
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	info, err := m.Submit(spec("bfs"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final, err := m.Wait(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != StateFailed {
+		t.Fatalf("state = %q, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "simulated cache corruption") {
+		t.Errorf("error %q missing panic message", final.Error)
+	}
+	if !strings.Contains(final.Error, "goroutine") {
+		t.Errorf("error %q missing stack trace", final.Error)
+	}
+
+	// The typed error is preserved for programmatic inspection.
+	var pe *PanicError
+	j := func() error { m.mu.Lock(); defer m.mu.Unlock(); return m.jobs[info.ID].err }()
+	if !errors.As(j, &pe) || pe.Value != "simulated cache corruption" {
+		t.Errorf("job error = %T %v, want *PanicError", j, j)
+	}
+
+	// The worker survived: a healthy job on the same manager still runs.
+	ok, err := m.Submit(spec("sssp"))
+	if err != nil {
+		t.Fatalf("Submit after panic: %v", err)
+	}
+	if final, err = m.Wait(ctx, ok.ID); err != nil || final.State != StateDone {
+		t.Fatalf("job after panic = %+v, %v; want done", final, err)
+	}
+
+	// A panicked result is never cached; resubmission re-executes (and
+	// panics again) rather than replaying a phantom success.
+	again, err := m.Submit(spec("bfs"))
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if final, err = m.Wait(ctx, again.ID); err != nil || final.State != StateFailed {
+		t.Fatalf("resubmitted = %+v, %v; want failed again", final, err)
+	}
+	if st := m.Stats(); st.Panics != 2 || st.Failed != 2 || st.Completed != 1 {
+		t.Fatalf("stats = %+v, want 2 panics, 2 failed, 1 completed", st)
+	}
+}
+
+// TestProgressHeartbeat drives ReportProgress from a runner and reads the
+// heartbeat off the running job's snapshot.
+func TestProgressHeartbeat(t *testing.T) {
+	reported := make(chan struct{})
+	release := make(chan struct{})
+	m := newManager(t, Config{Workers: 1, Runner: func(ctx context.Context, s Spec) (any, error) {
+		ReportProgress(ctx, 1000, 250)
+		close(reported)
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}})
+	info, err := m.Submit(spec("bfs"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-reported
+	snap, err := m.Get(info.ID)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	p := snap.Progress
+	if p == nil {
+		t.Fatal("running job has no progress after a report")
+	}
+	if p.Cycles != 1000 || p.WarpInsts != 250 {
+		t.Fatalf("progress = %+v, want cycles 1000, warp insts 250", p)
+	}
+	if p.CyclesPerSec <= 0 {
+		t.Errorf("cycles/sec = %v, want > 0", p.CyclesPerSec)
+	}
+	if p.Updated.IsZero() {
+		t.Error("progress has no update timestamp")
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	final, err := m.Wait(ctx, info.ID)
+	if err != nil || final.State != StateDone {
+		t.Fatalf("final = %+v, %v", final, err)
+	}
+	if final.Progress != nil {
+		t.Error("terminal snapshot still carries a progress heartbeat")
+	}
+	if final.QueuedMillis < 0 || final.WallMillis < 0 {
+		t.Errorf("negative phase durations: %+v", final)
+	}
+}
+
+// TestReportProgressOutsideManagerIsNoop guards the CLI path, where runners
+// execute without a manager-injected tracker.
+func TestReportProgressOutsideManagerIsNoop(t *testing.T) {
+	ReportProgress(context.Background(), 1, 1) // must not panic
+}
+
 func TestCancelQueuedJobSkipsRunner(t *testing.T) {
 	br := newBlockingRunner()
 	m := newManager(t, Config{Workers: 1, Runner: br.run})

@@ -9,6 +9,7 @@ package jobs
 import (
 	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -24,13 +25,18 @@ var (
 // Pool is a fixed-size worker pool draining a FIFO task queue. The zero
 // value is not usable; construct with NewPool. Close drains: every task
 // already accepted — queued or running — completes before Close returns.
+//
+// Workers are panic-contained: a panicking task is recovered (reported to
+// the handler installed with SetPanicHandler, if any) and the worker moves
+// on to the next task, so one bad simulation cannot kill the pool.
 type Pool struct {
 	tasks chan func()
 	wg    sync.WaitGroup
 
-	mu     sync.RWMutex
-	closed bool
-	once   sync.Once
+	mu      sync.RWMutex
+	closed  bool
+	onPanic func(v any, stack []byte)
+	once    sync.Once
 }
 
 // NewPool starts workers goroutines consuming a queue of the given depth.
@@ -51,11 +57,37 @@ func NewPool(workers, queue int) *Pool {
 	return p
 }
 
+// SetPanicHandler installs fn to receive the value and stack of every task
+// panic the pool recovers. Without one, recovered panics are dropped
+// silently; either way the worker survives.
+func (p *Pool) SetPanicHandler(fn func(v any, stack []byte)) {
+	p.mu.Lock()
+	p.onPanic = fn
+	p.mu.Unlock()
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for fn := range p.tasks {
-		fn()
+		p.protect(fn)
 	}
+}
+
+// protect runs one task, containing any panic to that task.
+func (p *Pool) protect(fn func()) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		p.mu.RLock()
+		h := p.onPanic
+		p.mu.RUnlock()
+		if h != nil {
+			h(v, debug.Stack())
+		}
+	}()
+	fn()
 }
 
 // Submit enqueues fn, blocking while the queue is full.

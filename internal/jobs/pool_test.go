@@ -81,6 +81,53 @@ func TestPoolShutdownWhileBusy(t *testing.T) {
 	}
 }
 
+// TestPoolWorkerSurvivesPanic is the containment contract: a panicking task
+// must neither kill its worker nor leak into the caller — subsequent tasks
+// still run and the panic reaches the installed handler with a stack.
+func TestPoolWorkerSurvivesPanic(t *testing.T) {
+	p := NewPool(1, 8)
+	var (
+		mu      sync.Mutex
+		panics  []any
+		stackOK bool
+	)
+	p.SetPanicHandler(func(v any, stack []byte) {
+		mu.Lock()
+		panics = append(panics, v)
+		stackOK = len(stack) > 0
+		mu.Unlock()
+	})
+	var ran atomic.Int64
+	if err := p.Submit(func() { panic("task boom") }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := p.Submit(func() { ran.Add(1) }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	p.Close()
+	if ran.Load() != 1 {
+		t.Fatal("task after a panic never ran: worker died")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(panics) != 1 || panics[0] != "task boom" || !stackOK {
+		t.Fatalf("panic handler saw %v (stack ok %v), want [task boom] with stack", panics, stackOK)
+	}
+}
+
+// TestPoolPanicWithoutHandler checks the worker survives even when no
+// handler is installed.
+func TestPoolPanicWithoutHandler(t *testing.T) {
+	p := NewPool(1, 4)
+	var ran atomic.Int64
+	p.Submit(func() { panic("silent") })
+	p.Submit(func() { ran.Add(1) })
+	p.Close()
+	if ran.Load() != 1 {
+		t.Fatal("worker died on unhandled panic")
+	}
+}
+
 func TestPoolSubmitAfterClose(t *testing.T) {
 	p := NewPool(1, 1)
 	p.Close()

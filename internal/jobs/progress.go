@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a live heartbeat of one running execution, surfaced on
+// GET /v1/jobs/{id} while the job is in the running state: how far the
+// simulation has advanced and how fast the simulated clock is moving.
+type Progress struct {
+	// Cycles is the simulated cycle count so far (0 for functional runs,
+	// which have no clock).
+	Cycles int64 `json:"cycles"`
+	// WarpInsts is the number of warp instructions executed so far.
+	WarpInsts uint64 `json:"warp_insts"`
+	// CyclesPerSec is the simulation rate: simulated cycles per wall-clock
+	// second since the execution started.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// Updated is when the runner last reported.
+	Updated time.Time `json:"updated"`
+}
+
+// progressTracker is the lock-free backing store a runner reports into; job
+// snapshots read it concurrently with the simulation.
+type progressTracker struct {
+	start     time.Time
+	cycles    atomic.Int64
+	warpInsts atomic.Uint64
+	updated   atomic.Int64 // unix nanos of the last report; 0 = none yet
+}
+
+func newProgressTracker(start time.Time) *progressTracker {
+	return &progressTracker{start: start}
+}
+
+func (t *progressTracker) report(cycles int64, warpInsts uint64) {
+	t.cycles.Store(cycles)
+	t.warpInsts.Store(warpInsts)
+	t.updated.Store(time.Now().UnixNano())
+}
+
+// snapshot returns the latest heartbeat, or nil before the first report.
+func (t *progressTracker) snapshot() *Progress {
+	nanos := t.updated.Load()
+	if nanos == 0 {
+		return nil
+	}
+	p := &Progress{
+		Cycles:    t.cycles.Load(),
+		WarpInsts: t.warpInsts.Load(),
+		Updated:   time.Unix(0, nanos),
+	}
+	if elapsed := p.Updated.Sub(t.start).Seconds(); elapsed > 0 && p.Cycles > 0 {
+		p.CyclesPerSec = float64(p.Cycles) / elapsed
+	}
+	return p
+}
+
+// progressKey keys the tracker in a runner's context.
+type progressKey struct{}
+
+// withProgress attaches a tracker to the context handed to a runner.
+func withProgress(ctx context.Context, t *progressTracker) context.Context {
+	return context.WithValue(ctx, progressKey{}, t)
+}
+
+// ReportProgress records a heartbeat on the job(s) behind ctx. Runners call
+// it at convenient boundaries (critloadd's simulation runner reports at
+// every kernel launch); outside a manager-run execution it is a no-op, so
+// runner code needs no special-casing in tests or CLIs.
+func ReportProgress(ctx context.Context, cycles int64, warpInsts uint64) {
+	if t, ok := ctx.Value(progressKey{}).(*progressTracker); ok {
+		t.report(cycles, warpInsts)
+	}
+}

@@ -1,0 +1,19 @@
+package jobs
+
+import "fmt"
+
+// PanicError is the failure a job carries when its runner panicked: the
+// recovered value plus the goroutine stack at the panic site. The manager
+// converts runner panics into this error so a crashing simulation becomes a
+// failed job — with enough context to debug it — instead of killing the
+// daemon for every user.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("jobs: runner panicked: %v\n%s", e.Value, e.Stack)
+}

@@ -16,6 +16,7 @@ type Stats struct {
 	CacheMisses uint64 `json:"cache_misses"` // submissions that scheduled or joined an execution
 	Deduped     uint64 `json:"deduped"`      // submissions that joined an in-flight execution
 	Executions  uint64 `json:"executions"`   // actual runner invocations
+	Panics      uint64 `json:"panics"`       // runner panics recovered into failed jobs
 	WallNanos   uint64 `json:"wall_nanos"`   // total runner wall time
 
 	// Current-state gauges.
@@ -27,7 +28,7 @@ type Stats struct {
 type counters struct {
 	submitted, completed, failed, cancelled atomic.Uint64
 	cacheHits, cacheMisses                  atomic.Uint64
-	deduped, executions, wallNanos          atomic.Uint64
+	deduped, executions, panics, wallNanos  atomic.Uint64
 	queued, running                         atomic.Int64
 }
 
@@ -42,6 +43,7 @@ func (c *counters) snapshot() Stats {
 		CacheMisses: c.cacheMisses.Load(),
 		Deduped:     c.deduped.Load(),
 		Executions:  c.executions.Load(),
+		Panics:      c.panics.Load(),
 		WallNanos:   c.wallNanos.Load(),
 		Queued:      c.queued.Load(),
 		Running:     c.running.Load(),

@@ -1,0 +1,97 @@
+package obsv
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// NewLogger builds a structured logger in the requested format ("text" or
+// "json") at the requested level. Unknown formats fall back to text, the
+// shape a human tails; json is the shape a log pipeline ingests.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// ParseLevel maps a flag string to a slog level, defaulting to info.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NopLogger discards everything; it is the default for library callers that
+// did not wire a logger, so instrumented code can log unconditionally.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// ---------------------------------------------------------------------------
+// Request IDs.
+
+// ctxKey keys obsv values in a context.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDHeader is the header request IDs arrive in and are echoed on.
+const RequestIDHeader = "X-Request-ID"
+
+// reqSeq breaks ties if the random source ever fails.
+var reqSeq atomic.Uint64
+
+// NewRequestID mints a 16-hex-digit random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%016x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stores a request ID in the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "" outside a request.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// validRequestID accepts client-supplied IDs that are safe to echo and log:
+// short, printable, no separators that could forge log fields.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package obsv
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Middleware wraps an http.Handler with one cross-cutting concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares around h with the first argument outermost, so
+// Chain(h, a, b, c) serves requests through a → b → c → h.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// statusWriter records the status code and payload size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working behind the chain.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap reuses an existing statusWriter from an outer middleware so the whole
+// chain shares one status record per request.
+func wrap(w http.ResponseWriter) *statusWriter {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw
+	}
+	return &statusWriter{ResponseWriter: w}
+}
+
+// RequestID assigns every request an ID — a well-formed inbound
+// X-Request-ID is honoured, anything else replaced — stores it in the
+// context and echoes it on the response, so one ID ties a client retry, the
+// access log line and a panic report together.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(RequestIDHeader)
+			if !validRequestID(id) {
+				id = NewRequestID()
+			}
+			w.Header().Set(RequestIDHeader, id)
+			next.ServeHTTP(w, r.WithContext(WithRequestID(r.Context(), id)))
+		})
+	}
+}
+
+// AccessLog emits one structured line per completed request. A nil logger
+// disables the middleware.
+func AccessLog(log *slog.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		if log == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := wrap(w)
+			t0 := time.Now()
+			next.ServeHTTP(sw, r)
+			log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", RequestIDFrom(r.Context())),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", time.Since(t0)),
+				slog.String("remote", r.RemoteAddr),
+			)
+		})
+	}
+}
+
+// Recover converts a handler panic into a 500 response (when no response
+// has started) plus a stack-trace log line, and invokes onPanic — typically
+// a counter — so a crashing endpoint shows up on a dashboard instead of
+// taking the daemon down.
+func Recover(log *slog.Logger, onPanic func()) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := wrap(w)
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if onPanic != nil {
+					onPanic()
+				}
+				if log != nil {
+					log.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+						slog.String("request_id", RequestIDFrom(r.Context())),
+						slog.String("method", r.Method),
+						slog.String("path", r.URL.Path),
+						slog.Any("panic", v),
+						slog.String("stack", string(debug.Stack())),
+					)
+				}
+				if sw.status == 0 {
+					sw.Header().Set("Content-Type", "application/json")
+					sw.WriteHeader(http.StatusInternalServerError)
+					sw.Write([]byte(`{"error":"internal server error"}` + "\n"))
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}
+
+// Instrument tracks the in-flight request gauge and reports one
+// (endpoint, status, duration) observation per request. endpoint maps a
+// request to its route label (bounded cardinality — "/v1/jobs/{id}", not the
+// raw path); a nil gauge or observer is skipped.
+func Instrument(endpoint func(*http.Request) string, inflight *Gauge, observe func(endpoint string, status int, d time.Duration)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if inflight != nil {
+				inflight.Inc()
+				defer inflight.Dec()
+			}
+			sw := wrap(w)
+			t0 := time.Now()
+			next.ServeHTTP(sw, r)
+			if observe != nil {
+				observe(endpoint(r), sw.status, time.Since(t0))
+			}
+		})
+	}
+}

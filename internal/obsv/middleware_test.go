@@ -1,0 +1,166 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	var seen string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}), RequestID())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	id := rec.Header().Get(RequestIDHeader)
+	if id == "" || id != seen {
+		t.Fatalf("header id %q, context id %q; want matching non-empty", id, seen)
+	}
+}
+
+func TestRequestIDInboundHonouredOrReplaced(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}), RequestID())
+	// A well-formed inbound ID is echoed verbatim.
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "client-id.01")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "client-id.01" {
+		t.Errorf("well-formed id rewritten to %q", got)
+	}
+	// An unsafe one (log-forging newline) is replaced.
+	req = httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "bad\nid")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got == "bad\nid" || got == "" {
+		t.Errorf("unsafe id not replaced: %q", got)
+	}
+}
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&buf, nil))
+	var panics int
+	h := Chain(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}), RequestID(), Recover(log, func() { panics++ }))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Fatalf("body = %q, want JSON error", rec.Body.String())
+	}
+	if panics != 1 {
+		t.Errorf("panic counter = %d, want 1", panics)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "kaboom") || !strings.Contains(logged, "goroutine") {
+		t.Errorf("panic log missing value or stack:\n%s", logged)
+	}
+}
+
+func TestRecoverAfterHeadersLeavesResponse(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late")
+	}), Recover(nil, nil))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want the handler's 202 preserved", rec.Code)
+	}
+}
+
+func TestAccessLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&buf, nil))
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short"))
+	}), RequestID(), AccessLog(log))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/thing?x=1", nil))
+	var line struct {
+		Msg       string `json:"msg"`
+		RequestID string `json:"request_id"`
+		Method    string `json:"method"`
+		Path      string `json:"path"`
+		Status    int    `json:"status"`
+		Bytes     int64  `json:"bytes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("unparseable access log %q: %v", buf.String(), err)
+	}
+	if line.Msg != "request" || line.Method != "GET" || line.Path != "/v1/thing" {
+		t.Errorf("log line = %+v", line)
+	}
+	if line.Status != http.StatusTeapot || line.Bytes != 5 {
+		t.Errorf("status/bytes = %d/%d, want 418/5", line.Status, line.Bytes)
+	}
+	if line.RequestID == "" {
+		t.Error("access log missing request_id")
+	}
+}
+
+func TestInstrumentObservesStatusAndInFlight(t *testing.T) {
+	reg := NewRegistry()
+	inflight := reg.Gauge("inflight", "x", nil)
+	var gotEndpoint string
+	var gotStatus int
+	var during int64
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		during = inflight.Value()
+		w.WriteHeader(http.StatusNotFound)
+	}), Instrument(func(*http.Request) string { return "/ep" }, inflight,
+		func(ep string, status int, d time.Duration) {
+			gotEndpoint, gotStatus = ep, status
+			if d < 0 {
+				t.Errorf("negative duration %v", d)
+			}
+		}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/whatever", nil))
+	if during != 1 {
+		t.Errorf("in-flight during request = %d, want 1", during)
+	}
+	if inflight.Value() != 0 {
+		t.Errorf("in-flight after request = %d, want 0", inflight.Value())
+	}
+	if gotEndpoint != "/ep" || gotStatus != http.StatusNotFound {
+		t.Errorf("observed (%q, %d), want (/ep, 404)", gotEndpoint, gotStatus)
+	}
+}
+
+func TestInstrumentDefaultStatus200(t *testing.T) {
+	var gotStatus int
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("implicit 200"))
+	}), Instrument(func(*http.Request) string { return "e" }, nil,
+		func(_ string, status int, _ time.Duration) { gotStatus = status }))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if gotStatus != http.StatusOK {
+		t.Errorf("implicit status = %d, want 200", gotStatus)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"error": slog.LevelError, "bogus": slog.LevelInfo,
+	} {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"critload/internal/jobs"
+	"critload/internal/obsv"
+)
+
+// jobWallBuckets covers simulation wall times, which run far longer than
+// HTTP requests: from sub-10ms cache-adjacent runs to multi-minute sweeps.
+var jobWallBuckets = []float64{.01, .05, .1, .5, 1, 5, 10, 30, 60, 120, 300}
+
+// endpoints are the bounded route labels instrumentation aggregates under;
+// raw paths never become label values, so cardinality stays fixed.
+var endpoints = []string{
+	"/v1/classify",
+	"/v1/jobs",
+	"/v1/jobs/{id}",
+	"/v1/workloads",
+	"/healthz",
+	"/metrics",
+	"other",
+}
+
+// endpointLabel maps a request to its route label.
+func endpointLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		return "/v1/jobs/{id}"
+	case p == "/v1/classify", p == "/v1/jobs", p == "/v1/workloads",
+		p == "/healthz", p == "/metrics":
+		return p
+	default:
+		return "other"
+	}
+}
+
+// metricsSet owns the server's registry: the job manager's counters exported
+// as scrape-time functions, HTTP request instrumentation (in-flight gauge,
+// per-endpoint latency histograms, per-endpoint/status counters) and
+// per-mode job wall-time histograms.
+type metricsSet struct {
+	reg *obsv.Registry
+
+	httpInFlight *obsv.Gauge
+	httpPanics   *obsv.Counter
+	latency      map[string]*obsv.Histogram // per endpoint
+	jobWall      map[jobs.Mode]*obsv.Histogram
+
+	mu       sync.Mutex
+	requests map[string]*obsv.Counter // endpoint + status → counter
+}
+
+func newMetricsSet(mgr *jobs.Manager, start time.Time) *metricsSet {
+	reg := obsv.NewRegistry()
+	m := &metricsSet{
+		reg:      reg,
+		latency:  map[string]*obsv.Histogram{},
+		jobWall:  map[jobs.Mode]*obsv.Histogram{},
+		requests: map[string]*obsv.Counter{},
+	}
+
+	// Job-manager counters, read from the atomic stats block at scrape time.
+	stat := func(read func(jobs.Stats) float64) func() float64 {
+		return func() float64 { return read(mgr.Stats()) }
+	}
+	reg.CounterFunc("critloadd_jobs_submitted_total",
+		"Jobs accepted by the manager.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.Submitted) }))
+	reg.CounterFunc("critloadd_jobs_completed_total",
+		"Jobs finished successfully.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.Completed) }))
+	reg.CounterFunc("critloadd_jobs_failed_total",
+		"Jobs finished with an error.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.Failed) }))
+	reg.CounterFunc("critloadd_jobs_cancelled_total",
+		"Jobs cancelled before completing.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.Cancelled) }))
+	reg.CounterFunc("critloadd_cache_hits_total",
+		"Submissions answered from the result cache.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.CacheHits) }))
+	reg.CounterFunc("critloadd_cache_misses_total",
+		"Submissions that scheduled or joined an execution.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.CacheMisses) }))
+	reg.CounterFunc("critloadd_jobs_deduped_total",
+		"Submissions that joined an in-flight execution (singleflight).", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.Deduped) }))
+	reg.CounterFunc("critloadd_executions_total",
+		"Actual simulation runner invocations.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.Executions) }))
+	reg.CounterFunc("critloadd_job_panics_total",
+		"Runner panics recovered into failed jobs.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.Panics) }))
+	reg.CounterFunc("critloadd_job_wall_seconds_total",
+		"Total runner wall-clock time.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.WallNanos) / 1e9 }))
+	reg.GaugeFunc("critloadd_queue_depth",
+		"Jobs waiting for a worker.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.Queued) }))
+	reg.GaugeFunc("critloadd_jobs_running",
+		"Jobs currently executing.", nil,
+		stat(func(s jobs.Stats) float64 { return float64(s.Running) }))
+	reg.GaugeFunc("critloadd_uptime_seconds",
+		"Seconds since the server started.", nil,
+		func() float64 { return time.Since(start).Seconds() })
+
+	// HTTP instrumentation.
+	m.httpInFlight = reg.Gauge("critloadd_http_in_flight",
+		"HTTP requests currently being served.", nil)
+	m.httpPanics = reg.Counter("critloadd_http_panics_total",
+		"Handler panics recovered into 500 responses.", nil)
+	for _, ep := range endpoints {
+		m.latency[ep] = reg.Histogram("critloadd_http_request_seconds",
+			"HTTP request latency by endpoint.",
+			map[string]string{"endpoint": ep}, nil)
+	}
+
+	// Per-mode job wall-time histograms, fed by the manager's execution
+	// observer.
+	for _, mode := range []jobs.Mode{jobs.ModeFunctional, jobs.ModeTiming} {
+		m.jobWall[mode] = reg.Histogram("critloadd_job_wall_seconds",
+			"Runner wall-clock time per execution by mode.",
+			map[string]string{"mode": string(mode)}, jobWallBuckets)
+	}
+	mgr.SetExecutionObserver(m.observeExecution)
+	return m
+}
+
+// observeRequest is the Instrument middleware's sink.
+func (m *metricsSet) observeRequest(endpoint string, status int, d time.Duration) {
+	if h, ok := m.latency[endpoint]; ok {
+		h.Observe(d.Seconds())
+	}
+	m.requestCounter(endpoint, status).Inc()
+}
+
+// requestCounter returns (registering on first use) the per-endpoint,
+// per-status request counter. Lazy registration keeps the family to the
+// status codes actually seen.
+func (m *metricsSet) requestCounter(endpoint string, status int) *obsv.Counter {
+	code := strconv.Itoa(status)
+	key := endpoint + " " + code
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.requests[key]
+	if !ok {
+		c = m.reg.Counter("critloadd_http_requests_total",
+			"HTTP requests by endpoint and status code.",
+			map[string]string{"endpoint": endpoint, "code": code})
+		m.requests[key] = c
+	}
+	return c
+}
+
+// observeExecution is the manager's execution observer.
+func (m *metricsSet) observeExecution(spec jobs.Spec, wall time.Duration, _ error) {
+	if h, ok := m.jobWall[spec.Mode]; ok {
+		h.Observe(wall.Seconds())
+	}
+}

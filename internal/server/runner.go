@@ -78,7 +78,8 @@ func resultFromRun(spec jobs.Spec, r *experiments.Run) *RunResult {
 // SimRunner adapts the experiments engines to the jobs.Runner contract:
 // functional specs run on the emulator, timing specs on the cycle-level
 // simulator, both stopping at the next kernel-launch boundary once ctx is
-// cancelled.
+// cancelled. Kernel-launch boundaries also emit a progress heartbeat
+// (cycles, warp instructions) onto the job's API snapshot.
 func SimRunner() jobs.Runner {
 	return func(ctx context.Context, spec jobs.Spec) (any, error) {
 		opts := experiments.Options{
@@ -87,6 +88,9 @@ func SimRunner() jobs.Runner {
 			MaxWarpInsts: spec.MaxWarpInsts,
 			MaxCycles:    spec.MaxCycles,
 			GPU:          spec.GPU,
+			Progress: func(cycles int64, warpInsts uint64) {
+				jobs.ReportProgress(ctx, cycles, warpInsts)
+			},
 		}
 		var (
 			r   *experiments.Run

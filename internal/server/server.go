@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"critload/internal/dataflow"
 	"critload/internal/jobs"
+	"critload/internal/obsv"
 	"critload/internal/ptx"
 	"critload/internal/workloads"
 )
@@ -29,16 +31,42 @@ const maxRequestBytes = 4 << 20
 //	DELETE /v1/jobs/{id}     cancel a job
 //	GET    /v1/workloads     list the built-in Table I workloads
 //	GET    /healthz          liveness
-//	GET    /metrics          job, cache and queue counters (text)
+//	GET    /metrics          Prometheus text exposition
+//
+// Every request flows through the observability chain: request-ID
+// injection (echoed on X-Request-ID), in-flight and per-endpoint latency
+// instrumentation, structured access logging, and panic recovery — a
+// crashing handler answers 500 and the daemon keeps serving.
 type Server struct {
-	mgr   *jobs.Manager
-	mux   *http.ServeMux
-	start time.Time
+	mgr     *jobs.Manager
+	mux     *http.ServeMux
+	handler http.Handler
+	log     *slog.Logger
+	metrics *metricsSet
+	start   time.Time
 }
 
-// New wires the API around a job manager.
-func New(mgr *jobs.Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
+// Option customises a Server at construction.
+type Option func(*Server)
+
+// WithLogger routes access logs and panic reports to l; the default logger
+// discards them, keeping library users (and tests) quiet.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// New wires the API around a job manager. It installs itself as the
+// manager's execution observer to feed the job wall-time histograms.
+func New(mgr *jobs.Manager, opts ...Option) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), log: obsv.NopLogger(), start: time.Now()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.metrics = newMetricsSet(mgr, s.start)
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -46,12 +74,18 @@ func New(mgr *jobs.Manager) *Server {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = obsv.Chain(s.mux,
+		obsv.RequestID(),
+		obsv.Instrument(endpointLabel, s.metrics.httpInFlight, s.metrics.observeRequest),
+		obsv.AccessLog(s.log),
+		obsv.Recover(s.log, s.metrics.httpPanics.Inc),
+	)
 	return s
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // writeJSON emits one JSON response; encoding errors at this point can only
@@ -66,6 +100,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// bodyErrorStatus distinguishes an oversized body — MaxBytesReader's error,
+// owed a 413 — from every other read/decode failure, which is a 400.
+func bodyErrorStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // ---------------------------------------------------------------------------
@@ -107,7 +151,7 @@ type ClassifyResponse struct {
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, bodyErrorStatus(err), "reading body: %v", err)
 		return
 	}
 	src := string(body)
@@ -173,7 +217,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, bodyErrorStatus(err), "decoding request: %v", err)
 		return
 	}
 	if _, ok := workloads.Get(req.Workload); !ok {
@@ -266,18 +310,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.mgr.Stats()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "critloadd_jobs_submitted_total %d\n", st.Submitted)
-	fmt.Fprintf(w, "critloadd_jobs_completed_total %d\n", st.Completed)
-	fmt.Fprintf(w, "critloadd_jobs_failed_total %d\n", st.Failed)
-	fmt.Fprintf(w, "critloadd_jobs_cancelled_total %d\n", st.Cancelled)
-	fmt.Fprintf(w, "critloadd_cache_hits_total %d\n", st.CacheHits)
-	fmt.Fprintf(w, "critloadd_cache_misses_total %d\n", st.CacheMisses)
-	fmt.Fprintf(w, "critloadd_jobs_deduped_total %d\n", st.Deduped)
-	fmt.Fprintf(w, "critloadd_executions_total %d\n", st.Executions)
-	fmt.Fprintf(w, "critloadd_job_wall_seconds_total %.3f\n", float64(st.WallNanos)/1e9)
-	fmt.Fprintf(w, "critloadd_queue_depth %d\n", st.Queued)
-	fmt.Fprintf(w, "critloadd_jobs_running %d\n", st.Running)
-	fmt.Fprintf(w, "critloadd_uptime_seconds %.0f\n", time.Since(s.start).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -268,6 +269,252 @@ func TestConcurrentJobsSingleExecution(t *testing.T) {
 	}
 	if st := mgr.Stats(); st.Executions != 1 {
 		t.Fatalf("executions = %d, want exactly 1 (stats %+v)", st.Executions, st)
+	}
+}
+
+// TestPanickingJobLeavesDaemonAlive is the headline acceptance test: a
+// simulation that panics mid-run becomes a failed job carrying the panic
+// message and stack, while /healthz and the jobs API keep answering.
+func TestPanickingJobLeavesDaemonAlive(t *testing.T) {
+	runner := func(ctx context.Context, spec jobs.Spec) (any, error) {
+		if spec.Workload == "bfs" {
+			panic("cache: unaligned block address 0x3")
+		}
+		return "ok", nil
+	}
+	ts, _ := newService(t, runner, 1)
+
+	var info jobs.JobInfo
+	if code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"workload": "bfs", "mode": "functional",
+	}, &info); code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	var final jobs.JobInfo
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, fmt.Sprintf("%s/v1/jobs/%s?wait_ms=1000", ts.URL, info.ID), &final); code != http.StatusOK {
+			t.Fatalf("poll = %d, want 200", code)
+		}
+		if final.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", final.State)
+		}
+	}
+	if final.State != jobs.StateFailed {
+		t.Fatalf("state = %q, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "unaligned block address") ||
+		!strings.Contains(final.Error, "goroutine") {
+		t.Fatalf("error %q missing panic message or stack", final.Error)
+	}
+
+	// The daemon survived: liveness, job listing and a fresh job all work.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz after panic = %d, want 200", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+info.ID, nil); code != http.StatusOK {
+		t.Fatalf("job fetch after panic = %d, want 200", code)
+	}
+	var ok jobs.JobInfo
+	if code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"workload": "sssp", "mode": "functional",
+	}, &ok); code != http.StatusAccepted {
+		t.Fatalf("submit after panic = %d, want 202", code)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/v1/jobs/%s?wait_ms=10000", ts.URL, ok.ID), &final); code != http.StatusOK || final.State != jobs.StateDone {
+		t.Fatalf("job after panic = %d/%q, want 200/done", code, final.State)
+	}
+
+	// And the panic is on the dashboard.
+	body := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(body, "critloadd_job_panics_total 1") {
+		t.Errorf("metrics missing recovered panic count:\n%s", grepMetrics(body, "panics"))
+	}
+}
+
+// TestRequestEntityTooLarge checks that MaxBytesReader overruns map to 413
+// on both body-consuming endpoints, not a generic 400.
+func TestRequestEntityTooLarge(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	// Well-formed JSON either way, so the size limit — not a syntax error —
+	// is what trips first.
+	big := []byte(`{"workload":"` + strings.Repeat("x", 4<<20+1) + `"}`)
+	for _, path := range []string{"/v1/classify", "/v1/jobs"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(big))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body = %d, want 413", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestIDEcho checks ID generation and client passthrough.
+func TestRequestIDEcho(t *testing.T) {
+	ts, _ := newService(t, server.SimRunner(), 1)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no request ID generated")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-me-42" {
+		t.Errorf("inbound request ID echoed as %q, want trace-me-42", got)
+	}
+}
+
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	return string(b)
+}
+
+// grepMetrics trims a scrape to the lines matching substr, for readable
+// failure messages.
+func grepMetrics(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// sampleLine matches one exposition sample: name, optional labels, value.
+var sampleLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]?Inf|NaN)$`)
+
+// validatePrometheus is the conformance check: every sample line must parse,
+// and every sample's family must have been declared with # HELP and # TYPE
+// before its first sample (histogram samples resolve through their
+// _bucket/_sum/_count suffixes).
+func validatePrometheus(t *testing.T, body string) {
+	t.Helper()
+	help := map[string]bool{}
+	typed := map[string]string{}
+	family := func(name string) (string, bool) {
+		if _, ok := typed[name]; ok {
+			return name, true
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, found := strings.CutSuffix(name, suffix)
+			if found && typed[base] == "histogram" {
+				return base, true
+			}
+		}
+		return "", false
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Errorf("malformed HELP line %q", line)
+			}
+			help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("unknown metric type in %q", line)
+			}
+			typed[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		fam, ok := family(m[1])
+		if !ok {
+			t.Errorf("sample %q has no # TYPE declaration", m[1])
+			continue
+		}
+		if !help[fam] {
+			t.Errorf("family %q has no # HELP line", fam)
+		}
+	}
+}
+
+// TestMetricsConformance exercises the API, then validates the full scrape
+// and the presence of annotated latency histograms for the classify and
+// jobs endpoints.
+func TestMetricsConformance(t *testing.T) {
+	ts, mgr := newService(t, server.SimRunner(), 2)
+
+	// Generate traffic: one classify, one finished job, one 404.
+	if code := postJSON(t, ts.URL+"/v1/classify", map[string]string{"ptx": classifySrc}, nil); code != http.StatusOK {
+		t.Fatalf("classify = %d", code)
+	}
+	var info jobs.JobInfo
+	if code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"workload": "2mm", "mode": "functional", "size": 32, "seed": 1,
+	}, &info); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := mgr.Wait(ctx, info.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+info.ID, nil)
+	getJSON(t, ts.URL+"/v1/jobs/j-missing", nil)
+
+	body := scrapeMetrics(t, ts.URL)
+	validatePrometheus(t, body)
+
+	for _, want := range []string{
+		"# TYPE critloadd_jobs_submitted_total counter",
+		"# TYPE critloadd_http_request_seconds histogram",
+		"# TYPE critloadd_job_wall_seconds histogram",
+		`critloadd_http_request_seconds_bucket{endpoint="/v1/classify",le="+Inf"} 1`,
+		`critloadd_http_request_seconds_bucket{endpoint="/v1/jobs",le="+Inf"} 1`,
+		`critloadd_http_request_seconds_count{endpoint="/v1/classify"} 1`,
+		`critloadd_job_wall_seconds_count{mode="functional"} 1`,
+		`critloadd_http_requests_total{code="404",endpoint="/v1/jobs/{id}"} 1`,
+		"critloadd_executions_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q; related lines:\n%s", want,
+				grepMetrics(body, strings.SplitN(want, "{", 2)[0]))
+		}
 	}
 }
 

@@ -10,11 +10,13 @@
 package critload_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"critload/internal/cache"
 	"critload/internal/experiments"
+	"critload/internal/gpu"
 	"critload/internal/isa"
 	"critload/internal/profiler"
 	"critload/internal/stats"
@@ -456,6 +458,43 @@ func BenchmarkAblation_SemiGlobalL2(b *testing.B) {
 			speedup += float64(r.BaseCycles) / float64(max64(r.VariantCycles, 1))
 		}
 		b.ReportMetric(speedup/float64(len(rows)), "semi_l2_speedup_x")
+	}
+}
+
+// BenchmarkEngine measures raw simulator throughput on the tracked baseline
+// cases (experiments.BenchCases), once per cycle engine. The fastforward
+// variants exercise event-horizon skipping plus the pooled hot path; the
+// naive variants are the serial one-cycle-at-a-time oracle. cmd/bench runs
+// the same cases to regenerate BENCH_sim.json.
+func BenchmarkEngine(b *testing.B) {
+	for _, c := range experiments.BenchCases() {
+		for _, eng := range []struct {
+			name string
+			ff   bool
+		}{{"fastforward", true}, {"naive", false}} {
+			c, eng := c, eng
+			b.Run(fmt.Sprintf("%s-%d/%s", c.Name, c.Size, eng.name), func(b *testing.B) {
+				cfg := gpu.DefaultConfig()
+				cfg.FastForward = eng.ff
+				b.ReportAllocs()
+				var cycles int64
+				var insts uint64
+				for i := 0; i < b.N; i++ {
+					run, err := experiments.RunTiming(c.Name, experiments.Options{
+						Size: c.Size, Seed: 1, GPU: &cfg,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles, insts = run.Cycles, run.Col.WarpInsts
+				}
+				perRun := b.Elapsed().Seconds() / float64(b.N)
+				if perRun > 0 {
+					b.ReportMetric(float64(cycles)/perRun, "cycles/sec")
+					b.ReportMetric(float64(insts)/perRun, "warpinsts/sec")
+				}
+			})
+		}
 	}
 }
 

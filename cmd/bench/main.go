@@ -1,0 +1,141 @@
+// Command bench regenerates BENCH_sim.json, the tracked simulator
+// performance baseline: for every baseline case it runs the timing model
+// under both cycle engines — event-horizon fast-forwarding and the naive
+// serial loop — and records wall time, simulated cycles per second, warp
+// instructions per second and heap traffic. It refuses to write a baseline
+// in which the two engines disagree on the simulated cycle count, so the
+// numbers are always for byte-identical simulations.
+//
+// Usage:
+//
+//	bench                    # write BENCH_sim.json in the working directory
+//	bench -o /tmp/b.json     # write elsewhere
+//	bench -runs 5            # best-of-5 wall times per engine
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+
+	"critload/internal/experiments"
+)
+
+type caseResult struct {
+	Workload    string `json:"workload"`
+	Size        int    `json:"size"`
+	MemoryBound bool   `json:"memory_bound"`
+	// Simulated work, identical for both engines by construction.
+	Cycles      int64                         `json:"cycles"`
+	WarpInsts   uint64                        `json:"warp_insts"`
+	FastForward experiments.EngineMeasurement `json:"fastforward"`
+	Naive       experiments.EngineMeasurement `json:"naive"`
+	SpeedupX    float64                       `json:"speedup_x"`
+}
+
+type summary struct {
+	GeomeanSpeedupX            float64 `json:"geomean_speedup_x"`
+	MemoryBoundGeomeanSpeedupX float64 `json:"memory_bound_geomean_speedup_x"`
+	MaxMallocsPerKCycleFF      float64 `json:"max_mallocs_per_kcycle_fastforward"`
+}
+
+type baseline struct {
+	Schema    string       `json:"schema"`
+	GoVersion string       `json:"go_version"`
+	Seed      int64        `json:"seed"`
+	Runs      int          `json:"runs"`
+	Workloads []caseResult `json:"workloads"`
+	Summary   summary      `json:"summary"`
+}
+
+// measureBest takes the best (minimum-wall-time) of n independent runs; heap
+// counters come from the same best run so the row is self-consistent.
+func measureBest(c experiments.BenchCase, seed int64, ff bool, n int) (experiments.EngineMeasurement, error) {
+	var best experiments.EngineMeasurement
+	for i := 0; i < n; i++ {
+		m, err := experiments.MeasureEngine(c, seed, ff)
+		if err != nil {
+			return best, err
+		}
+		if i == 0 || m.WallSeconds < best.WallSeconds {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+func run(out string, seed int64, runs int) error {
+	b := baseline{
+		Schema:    "critload/bench_sim/v1",
+		GoVersion: runtime.Version(),
+		Seed:      seed,
+		Runs:      runs,
+	}
+	var all, memBound []float64
+	for _, c := range experiments.BenchCases() {
+		ff, err := measureBest(c, seed, true, runs)
+		if err != nil {
+			return err
+		}
+		naive, err := measureBest(c, seed, false, runs)
+		if err != nil {
+			return err
+		}
+		if ff.Cycles != naive.Cycles || ff.WarpInsts != naive.WarpInsts {
+			return fmt.Errorf("%s: engines diverge (fastforward %d cycles / %d insts, naive %d / %d); baseline not written",
+				c.Name, ff.Cycles, ff.WarpInsts, naive.Cycles, naive.WarpInsts)
+		}
+		r := caseResult{
+			Workload: c.Name, Size: c.Size, MemoryBound: c.MemoryBound,
+			Cycles: ff.Cycles, WarpInsts: ff.WarpInsts,
+			FastForward: ff, Naive: naive,
+		}
+		if ff.WallSeconds > 0 {
+			r.SpeedupX = naive.WallSeconds / ff.WallSeconds
+		}
+		all = append(all, r.SpeedupX)
+		if c.MemoryBound {
+			memBound = append(memBound, r.SpeedupX)
+		}
+		if r.FastForward.MallocsPerKCycle > b.Summary.MaxMallocsPerKCycleFF {
+			b.Summary.MaxMallocsPerKCycleFF = r.FastForward.MallocsPerKCycle
+		}
+		b.Workloads = append(b.Workloads, r)
+		fmt.Fprintf(os.Stderr, "bench: %-5s %9d cycles (%4.1f%% skipped)  ff %6.2f Mcyc/s  naive %6.2f Mcyc/s  speedup %.2fx\n",
+			c.Name, r.Cycles, 100*float64(ff.SkippedCycles)/float64(r.Cycles),
+			ff.CyclesPerSec/1e6, naive.CyclesPerSec/1e6, r.SpeedupX)
+	}
+	b.Summary.GeomeanSpeedupX = geomean(all)
+	b.Summary.MemoryBoundGeomeanSpeedupX = geomean(memBound)
+
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(buf, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output path for the baseline")
+	seed := flag.Int64("seed", 1, "input generation seed")
+	runs := flag.Int("runs", 3, "independent runs per engine; best wall time is kept")
+	flag.Parse()
+	if err := run(*out, *seed, *runs); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@
 //	experiments -markdown             # markdown tables (EXPERIMENTS.md input)
 //	experiments -size-scale small     # reduced inputs for a quick pass
 //	experiments -parallel 8           # warm the suite on 8 workers first
+//	experiments -cpuprofile cpu.prof  # profile the sweep (go tool pprof)
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"critload/internal/cache"
@@ -46,26 +49,61 @@ func main() {
 	md := flag.Bool("markdown", false, "emit markdown tables")
 	parallel := flag.Int("parallel", 0,
 		"workers executing the sweep concurrently (0 = serial, -1 = one per CPU)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	markdown = *md
 
-	suite := experiments.NewSuite(experiments.Options{Seed: *seed, MaxWarpInsts: *maxInsts})
-	a := strings.ToLower(*artifact)
-	if *parallel != 0 {
+	// The sweep runs inside a function returning error so the deferred
+	// profile writers always flush; os.Exit here would skip them.
+	if err := sweep(strings.ToLower(*artifact), *seed, *maxInsts, *parallel,
+		*cpuProfile, *memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func sweep(artifact string, seed int64, maxInsts uint64, parallel int, cpuProfile, memProfile string) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		// Written on the way out so the profile covers the whole sweep; a
+		// final GC makes the live-heap numbers meaningful.
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
+
+	suite := experiments.NewSuite(experiments.Options{Seed: seed, MaxWarpInsts: maxInsts})
+	if parallel != 0 {
 		// Warm the suite's run caches through the worker pool; the
 		// generators below then emit in their usual serial order, so the
 		// output is byte-identical to a serial sweep no matter in which
 		// order the workloads finish.
-		fn, tm := runsNeeded(a)
-		if err := suite.Warm(context.Background(), *parallel, fn, tm); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: warm:", err)
-			os.Exit(1)
+		fn, tm := runsNeeded(artifact)
+		if err := suite.Warm(context.Background(), parallel, fn, tm); err != nil {
+			return fmt.Errorf("warm: %w", err)
 		}
 	}
-	if err := run(suite, a); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	return run(suite, artifact)
 }
 
 // runsNeeded reports which engines an artifact draws on, so -parallel warms

@@ -97,6 +97,13 @@ type Cache struct {
 	sets    [][]line
 	mshr    map[uint32]*mshrEntry
 
+	// entryFree recycles MSHR entries (and their target slices) so the
+	// steady-state miss path allocates nothing; lastFill holds the most
+	// recently filled entry back for one Fill so the slice Fill returned
+	// stays valid while the caller iterates it.
+	entryFree []*mshrEntry
+	lastFill  *mshrEntry
+
 	// Aggregate statistics (monotonic counters).
 	Accesses  [NumOutcomes]uint64
 	FillCount uint64
@@ -206,7 +213,16 @@ func (c *Cache) Access(r *memreq.Request, now int64, tryInject func() bool) Outc
 		return RsrvFailICNT
 	}
 	set[victim] = line{tag: r.Block, state: reserved, lastUse: now}
-	c.mshr[r.Block] = &mshrEntry{targets: []*memreq.Request{r}}
+	var e *mshrEntry
+	if n := len(c.entryFree); n > 0 {
+		e = c.entryFree[n-1]
+		c.entryFree[n-1] = nil
+		c.entryFree = c.entryFree[:n-1]
+		e.targets = append(e.targets[:0], r)
+	} else {
+		e = &mshrEntry{targets: []*memreq.Request{r}}
+	}
+	c.mshr[r.Block] = e
 	c.Accesses[Miss]++
 	return Miss
 }
@@ -214,6 +230,10 @@ func (c *Cache) Access(r *memreq.Request, now int64, tryInject func() bool) Outc
 // Fill completes an outstanding miss for block: the reserved line becomes
 // valid and all merged requests are returned (primary miss first). Filling a
 // block with no outstanding reservation is a simulator bug.
+//
+// The returned slice aliases recycled MSHR storage and is valid only until
+// the next Fill on this cache; callers must finish iterating (or copy)
+// before triggering another fill.
 func (c *Cache) Fill(block uint32, now int64) []*memreq.Request {
 	e, ok := c.mshr[block]
 	if !ok {
@@ -226,6 +246,12 @@ func (c *Cache) Fill(block uint32, now int64) []*memreq.Request {
 			set[i].state = valid
 			set[i].lastUse = now
 			c.FillCount++
+			// Recycle the previously filled entry; e itself is held back so
+			// e.targets survives until the caller finishes with it.
+			if c.lastFill != nil {
+				c.entryFree = append(c.entryFree, c.lastFill)
+			}
+			c.lastFill = e
 			return e.targets
 		}
 	}

@@ -7,6 +7,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 
 	"critload/internal/memreq"
 )
@@ -55,20 +56,30 @@ type inflight struct {
 	readyAt int64
 }
 
+// queued is one waiting request with its enqueue cycle, replacing the
+// per-request map the controller used to carry for the wait statistic.
+type queued struct {
+	req *memreq.Request
+	at  int64
+}
+
 // Controller is one memory channel's controller.
 type Controller struct {
 	cfg      Config
-	queue    []*memreq.Request
+	queue    []queued
 	banks    []bank
 	inflight []inflight
 	done     DoneFunc
+	// release, when set, receives write-through stores as they issue: a
+	// store's lifetime ends at the bank (no reply is modeled), so the owner
+	// can recycle the request. See memreq.Pool.
+	release func(r *memreq.Request)
 
 	// Statistics.
-	Serviced   uint64
-	RowHits    uint64
-	RowMisses  uint64
-	TotalWait  int64 // accumulated queue wait (issue - enqueue)
-	enqueuedAt map[*memreq.Request]int64
+	Serviced  uint64
+	RowHits   uint64
+	RowMisses uint64
+	TotalWait int64 // accumulated queue wait (issue - enqueue)
 }
 
 // New builds a controller delivering completions via done.
@@ -79,13 +90,18 @@ func New(cfg Config, done DoneFunc) (*Controller, error) {
 	if done == nil {
 		return nil, fmt.Errorf("dram: nil done callback")
 	}
-	c := &Controller{cfg: cfg, done: done, enqueuedAt: map[*memreq.Request]int64{}}
+	c := &Controller{cfg: cfg, done: done}
 	c.banks = make([]bank, cfg.Banks)
 	for i := range c.banks {
 		c.banks[i].openRow = -1
 	}
 	return c, nil
 }
+
+// SetReleaser installs a hook receiving store requests at issue time, when
+// their lifecycle ends (nil disables). Read-class requests are never passed
+// to it; they retire through the reply path.
+func (c *Controller) SetReleaser(release func(r *memreq.Request)) { c.release = release }
 
 // MustNew builds a controller or panics; for static configurations.
 func MustNew(cfg Config, done DoneFunc) *Controller {
@@ -105,8 +121,7 @@ func (c *Controller) Enqueue(r *memreq.Request, now int64) {
 	if !c.CanAccept() {
 		panic("dram: enqueue on full queue")
 	}
-	c.queue = append(c.queue, r)
-	c.enqueuedAt[r] = now
+	c.queue = append(c.queue, queued{req: r, at: now})
 }
 
 func (c *Controller) bankAndRow(block uint32) (int, int64) {
@@ -135,8 +150,8 @@ func (c *Controller) Step(now int64) {
 	}
 	// First ready row-hit, else first ready request (FCFS fallback).
 	pick := -1
-	for i, r := range c.queue {
-		b, row := c.bankAndRow(r.Block)
+	for i := range c.queue {
+		b, row := c.bankAndRow(c.queue[i].req.Block)
 		if c.banks[b].busyUntil > now {
 			continue
 		}
@@ -151,8 +166,9 @@ func (c *Controller) Step(now int64) {
 	if pick < 0 {
 		return
 	}
-	r := c.queue[pick]
+	q := c.queue[pick]
 	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+	r := q.req
 	b, row := c.bankAndRow(r.Block)
 	occupancy := c.cfg.BurstCycles
 	latency := c.cfg.AccessLatency
@@ -166,15 +182,46 @@ func (c *Controller) Step(now int64) {
 	c.banks[b].openRow = row
 	c.banks[b].busyUntil = now + occupancy
 	c.Serviced++
-	c.TotalWait += now - c.enqueuedAt[r]
-	delete(c.enqueuedAt, r)
+	c.TotalWait += now - q.at
 
 	if r.Kind == memreq.Store {
 		// Writes complete silently once issued; the bank occupancy above is
-		// their entire cost.
+		// their entire cost, and the request's lifetime ends here.
+		if c.release != nil {
+			c.release(r)
+		}
 		return
 	}
 	c.inflight = append(c.inflight, inflight{req: r, readyAt: now + latency})
+}
+
+// NextEvent reports the earliest cycle after now at which the channel can
+// make progress — the earliest in-flight completion, or the first cycle a
+// queued request's bank is free — or math.MaxInt64 when it is empty. The
+// contract (docs/PERFORMANCE.md) assumes the channel was just stepped at now
+// and nothing is enqueued before the reported cycle.
+func (c *Controller) NextEvent(now int64) int64 {
+	horizon := int64(math.MaxInt64)
+	for i := range c.inflight {
+		t := c.inflight[i].readyAt
+		if t <= now {
+			t = now + 1
+		}
+		if t < horizon {
+			horizon = t
+		}
+	}
+	for i := range c.queue {
+		b, _ := c.bankAndRow(c.queue[i].req.Block)
+		t := c.banks[b].busyUntil
+		if t <= now {
+			t = now + 1
+		}
+		if t < horizon {
+			horizon = t
+		}
+	}
+	return horizon
 }
 
 // Pending reports queued plus in-flight requests, a quiescence check.

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"critload/internal/gpu"
+	"critload/internal/stats"
+)
+
+// describe summarizes the collector counters most likely to diverge, so a
+// determinism failure points at the broken subsystem instead of a bare
+// "not equal".
+func describe(t *testing.T, label string, r *Run) {
+	t.Helper()
+	c := r.Col
+	t.Logf("%s: cycles=%d gpuCycles=%d smCycles=%d unitBusy=%v warpInsts=%d",
+		label, r.Cycles, c.GPUCycles, c.SMCycles, c.UnitBusy, c.WarpInsts)
+	t.Logf("%s: l1Outcomes=%v l2Acc=%v l2Miss=%v turnaround=%+v",
+		label, c.L1Outcomes, c.L2Acc, c.L2Miss, c.Turnaround)
+}
+
+// TestFastForwardMatchesSerialLoop is the fast-forward engine's core
+// contract: for every workload, event-horizon skipping must produce a
+// byte-identical statistics collector and the same cycle count as the
+// naive one-cycle-at-a-time loop it replaces.
+func TestFastForwardMatchesSerialLoop(t *testing.T) {
+	for name, size := range timingSmokeSizes {
+		name, size := name, size
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serialCfg := gpu.DefaultConfig()
+			serialCfg.FastForward = false
+
+			fast, err := RunTiming(name, Options{Size: size, Seed: 7})
+			if err != nil {
+				t.Fatalf("fast-forward run: %v", err)
+			}
+			serial, err := RunTiming(name, Options{Size: size, Seed: 7, GPU: &serialCfg})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			if fast.Cycles != serial.Cycles {
+				t.Errorf("cycles diverge: fast-forward %d, serial %d", fast.Cycles, serial.Cycles)
+			}
+			if !reflect.DeepEqual(fast.Col, serial.Col) {
+				t.Errorf("statistics diverge between fast-forward and serial engines")
+				describe(t, "fast-forward", fast)
+				describe(t, "serial", serial)
+			}
+		})
+	}
+}
+
+// TestTimingRunsAreDeterministic re-runs a compute-bound, a memory-bound and
+// an irregular workload and requires identical statistics: the simulator has
+// no hidden nondeterminism (map iteration, pooling artifacts, timers).
+func TestTimingRunsAreDeterministic(t *testing.T) {
+	for _, name := range []string{"2mm", "spmv", "bfs"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opts := Options{Size: timingSmokeSizes[name], Seed: 11}
+			first, err := RunTiming(name, opts)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := RunTiming(name, opts)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if first.Cycles != second.Cycles {
+				t.Errorf("cycles diverge across runs: %d vs %d", first.Cycles, second.Cycles)
+			}
+			if !reflect.DeepEqual(first.Col, second.Col) {
+				t.Errorf("statistics diverge across identical runs")
+				describe(t, "first", first)
+				describe(t, "second", second)
+			}
+			if first.Col.Turnaround[stats.Det].Ops+first.Col.Turnaround[stats.NonDet].Ops == 0 {
+				t.Errorf("no turnarounds recorded; determinism check is vacuous")
+			}
+		})
+	}
+}

@@ -78,6 +78,9 @@ type Run struct {
 	Instance *workloads.Instance
 	Col      *stats.Collector
 	Cycles   int64
+	// SkippedCycles is the portion of Cycles the fast-forward engine jumped
+	// over instead of stepping (always 0 for functional and serial runs).
+	SkippedCycles int64
 }
 
 // suiteCall is one singleflight execution slot: the first caller runs the
@@ -234,6 +237,13 @@ func RunTimingCtx(ctx context.Context, name string, opts Options) (*Run, error) 
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s setup: %w", name, err)
 	}
+	return runTimingInst(ctx, w, inst, opts)
+}
+
+// runTimingInst simulates an already-built instance; split from RunTimingCtx
+// so the benchmark harness can time the simulation alone, excluding input
+// generation.
+func runTimingInst(ctx context.Context, w *workloads.Workload, inst *workloads.Instance, opts Options) (*Run, error) {
 	col := stats.New()
 	cfg := opts.gpuConfig()
 	cfg.MaxWarpInsts = opts.MaxWarpInsts
@@ -254,12 +264,13 @@ func RunTimingCtx(ctx context.Context, name string, opts Options) (*Run, error) 
 		return g.LaunchKernel(l)
 	}
 	if err := inst.Run(exec); err != nil {
-		return nil, fmt.Errorf("experiments: %s timing run: %w", name, err)
+		return nil, fmt.Errorf("experiments: %s timing run: %w", w.Name, err)
 	}
 	if opts.Progress != nil {
 		opts.Progress(g.Cycle(), col.WarpInsts)
 	}
-	return &Run{Workload: w, Instance: inst, Col: col, Cycles: g.Cycle()}, nil
+	return &Run{Workload: w, Instance: inst, Col: col, Cycles: g.Cycle(),
+		SkippedCycles: g.SkippedCycles}, nil
 }
 
 // runAll maps fn over the selected workloads.

@@ -8,6 +8,7 @@ package gpu
 
 import (
 	"fmt"
+	"math"
 
 	"critload/internal/cache"
 	"critload/internal/dataflow"
@@ -62,6 +63,13 @@ type Config struct {
 	// (0 = unlimited), mirroring the paper's first-billion-instruction
 	// simulation window.
 	MaxWarpInsts uint64
+	// FastForward enables event-horizon skipping: when no component can make
+	// progress, the engine jumps straight to the earliest future event
+	// instead of ticking dead cycles one by one. Every statistic is
+	// batch-accounted so results are byte-identical to the serial loop;
+	// disabling it keeps the naive loop as a differential-testing oracle.
+	// DefaultConfig enables it.
+	FastForward bool
 }
 
 // DefaultConfig returns the Tesla C2050 configuration of Table II: 14 SMs,
@@ -76,8 +84,9 @@ func DefaultConfig() Config {
 			Bytes: 128 * 1024, LineBytes: 128, Ways: 8,
 			MSHREntries: 32, MSHRTargets: 8, HitLatency: 120,
 		},
-		ICNT: icnt.Config{Latency: 8, InputQueueCap: 8},
-		DRAM: dram.DefaultConfig(),
+		ICNT:        icnt.Config{Latency: 8, InputQueueCap: 8},
+		DRAM:        dram.DefaultConfig(),
+		FastForward: true,
 	}
 }
 
@@ -126,7 +135,24 @@ type GPU struct {
 	reqNet   *icnt.Network
 	replyNet *icnt.Network
 
+	// pool recycles memory requests across SMs and partitions; see
+	// memreq.Pool for the ownership rules.
+	pool memreq.Pool
+
 	cycle int64
+
+	// SkippedCycles counts cycles fast-forwarded over instead of stepped; a
+	// diagnostic for skip effectiveness. It lives outside the Collector on
+	// purpose: the serial oracle never skips, and the two engines' collectors
+	// must stay byte-identical.
+	SkippedCycles int64
+
+	// pinHint is the component index (see nextEventOf) that most recently
+	// pinned the horizon to now+1. Activity is phase-local, so rechecking it
+	// first usually resolves the horizon with a single NextEvent call instead
+	// of a full component scan. Purely an evaluation-order hint: the horizon
+	// value is identical with or without it.
+	pinHint int
 
 	// Launch state.
 	launch     *emu.Launch
@@ -151,6 +177,8 @@ func New(cfg Config, memory *mem.Memory, col *stats.Collector) (*GPU, error) {
 
 	g.reqNet = icnt.MustNew(cfg.NumSMs, cfg.NumPartitions, cfg.ICNT, g.deliverToPartition)
 	g.replyNet = icnt.MustNew(cfg.NumPartitions, cfg.NumSMs, cfg.ICNT, g.deliverToSM)
+	g.reqNet.SetFastForward(cfg.FastForward)
+	g.replyNet.SetFastForward(cfg.FastForward)
 
 	lat := cfg.latencyModel()
 	for i := 0; i < cfg.NumSMs; i++ {
@@ -158,6 +186,8 @@ func New(cfg Config, memory *mem.Memory, col *stats.Collector) (*GPU, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.SetPool(&g.pool)
+		s.SetFastForward(cfg.FastForward)
 		g.sms = append(g.sms, s)
 	}
 	for i := 0; i < cfg.NumPartitions; i++ {
@@ -296,7 +326,84 @@ func (g *GPU) LaunchKernel(l *emu.Launch) error {
 			return fmt.Errorf("gpu: exceeded %d cycles (possible livelock) in kernel %s",
 				g.cfg.MaxCycles, l.Kernel.Name)
 		}
+		if g.cfg.FastForward {
+			// The cycle just stepped is g.cycle-1; if no component can make
+			// progress before horizon h, cycles g.cycle..h-1 are dead and
+			// only need their occupancy statistics accounted.
+			if h := g.horizon(g.cycle - 1); h > g.cycle {
+				if h == math.MaxInt64 && g.cfg.MaxCycles <= 0 {
+					// The serial loop would spin forever here; failing loudly
+					// is strictly more useful.
+					return fmt.Errorf("gpu: no pending events with launch incomplete (livelock) in kernel %s",
+						l.Kernel.Name)
+				}
+				if err := g.skipTo(h, l); err != nil {
+					return err
+				}
+			}
+		}
 	}
+}
+
+// nextEventOf evaluates one component's NextEvent by flat index: the
+// partitions, then the reply and request networks, then the SMs.
+func (g *GPU) nextEventOf(i int, now int64) int64 {
+	switch p := len(g.parts); {
+	case i < p:
+		return g.parts[i].nextEvent(now)
+	case i == p:
+		return g.replyNet.NextEvent(now)
+	case i == p+1:
+		return g.reqNet.NextEvent(now)
+	default:
+		return g.sms[i-p-2].NextEvent(now)
+	}
+}
+
+// horizon returns the earliest cycle after now at which any component's
+// observable state can change, assuming everything was just stepped at now.
+// Every component clamps its report to now+1, so the first one answering
+// now+1 decides the horizon; the pin hint is tried before the full scan
+// because the same component tends to stay active across consecutive cycles.
+func (g *GPU) horizon(now int64) int64 {
+	if t := g.nextEventOf(g.pinHint, now); t <= now+1 {
+		return t
+	}
+	h := int64(math.MaxInt64)
+	for i, n := 0, len(g.parts)+2+len(g.sms); i < n; i++ {
+		if t := g.nextEventOf(i, now); t < h {
+			if h = t; h <= now+1 {
+				g.pinHint = i
+				return h
+			}
+		}
+	}
+	return h
+}
+
+// skipTo jumps the cycle counter from g.cycle to target, folding the skipped
+// cycles' occupancy statistics in exactly as the serial loop's per-cycle
+// stepping would have. When the window crosses MaxCycles it reproduces the
+// serial loop's livelock error at the identical cycle count.
+func (g *GPU) skipTo(target int64, l *emu.Launch) error {
+	limited := false
+	if g.cfg.MaxCycles > 0 && target >= g.cfg.MaxCycles {
+		target = g.cfg.MaxCycles
+		limited = true
+	}
+	if n := target - g.cycle; n > 0 {
+		for _, s := range g.sms {
+			s.AccountIdle(g.cycle, n)
+		}
+		g.SkippedCycles += n
+		g.cycle = target
+		g.Col.GPUCycles = g.cycle
+	}
+	if limited {
+		return fmt.Errorf("gpu: exceeded %d cycles (possible livelock) in kernel %s",
+			g.cfg.MaxCycles, l.Kernel.Name)
+	}
+	return nil
 }
 
 // done reports launch completion: every CTA issued and retired and the

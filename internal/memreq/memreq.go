@@ -85,3 +85,56 @@ func (r *Request) String() string {
 	return fmt.Sprintf("req#%d %s block %#x sm%d part%d pc=0x%x nondet=%v",
 		r.ID, r.Kind, r.Block, r.SM, r.Partition, r.PC, r.NonDet)
 }
+
+// Pool is a free list of Requests for the timing simulator's hot path: a
+// memory-bound run creates one Request per coalesced access, and recycling
+// them at retirement keeps the steady-state allocation rate near zero.
+//
+// Ownership rules (see docs/PERFORMANCE.md):
+//   - A Pool belongs to one GPU instance and is not safe for concurrent use;
+//     the simulator is single-threaded per device by design.
+//   - Put hands a request back once it is terminal: the last reply for its
+//     warp op retired at the SM, the write-through store issued at the DRAM
+//     channel, or an ownerless reply (prefetch, dst-less atomic) completed.
+//   - Put does not clear the request — Get does — so reads of an
+//     already-released request remain valid until the pool reuses it within
+//     the same cycle's event processing. No component may *write* to a
+//     request after Put.
+//
+// A nil *Pool is valid and degrades to plain allocation (no recycling).
+type Pool struct {
+	free []*Request
+}
+
+// Get returns a zeroed request, reusing a recycled one when available.
+func (p *Pool) Get() *Request {
+	if p == nil {
+		return &Request{}
+	}
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
+
+// Put recycles a terminal request. It tolerates nil receivers and nil
+// requests so call sites need no guards.
+func (p *Pool) Put(r *Request) {
+	if p == nil || r == nil {
+		return
+	}
+	p.free = append(p.free, r)
+}
+
+// FreeLen reports the number of recycled requests currently pooled (a
+// testing aid).
+func (p *Pool) FreeLen() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}

@@ -14,6 +14,45 @@ func TestKindAndLevelStrings(t *testing.T) {
 	}
 }
 
+func TestPoolRecyclesAndZeroes(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	r.ID = 42
+	r.NonDet = true
+	r.Returned = 99
+	p.Put(r)
+	if p.FreeLen() != 1 {
+		t.Fatalf("FreeLen = %d, want 1", p.FreeLen())
+	}
+	// Put must not clear: late readers of a terminal request stay valid.
+	if r.ID != 42 || r.Returned != 99 {
+		t.Fatalf("Put cleared the request: %+v", r)
+	}
+	got := p.Get()
+	if got != r {
+		t.Fatalf("Get did not reuse the recycled request")
+	}
+	if got.ID != 0 || got.NonDet || got.Returned != 0 {
+		t.Fatalf("Get returned a dirty request: %+v", got)
+	}
+	if p.FreeLen() != 0 {
+		t.Fatalf("FreeLen = %d after reuse, want 0", p.FreeLen())
+	}
+}
+
+func TestNilPoolDegradesToAllocation(t *testing.T) {
+	var p *Pool
+	r := p.Get()
+	if r == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	p.Put(r) // must not panic
+	p.Put(nil)
+	if p.FreeLen() != 0 {
+		t.Fatal("nil pool reports pooled requests")
+	}
+}
+
 func TestRequestString(t *testing.T) {
 	r := &Request{
 		ID: 7, Block: 0x1000, Kind: Load, SM: 3, Partition: 2,

@@ -1,0 +1,76 @@
+// Package ring provides a growable FIFO ring buffer used on the simulator's
+// hot paths (partition input/reply queues, interconnect input buffers). It
+// replaces the `q = q[1:]` slicing idiom, which keeps the whole backing array
+// reachable for as long as the queue lives and re-allocates it on every
+// wrap-around of append: a Buffer reuses one power-of-two backing array in
+// place, so steady-state Push/Pop cycles allocate nothing and capacity stays
+// bounded by the high-water mark of the queue.
+package ring
+
+// Buffer is a FIFO queue over a power-of-two circular backing array. The zero
+// value is an empty, ready-to-use buffer.
+type Buffer[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int // number of live elements
+}
+
+// Len returns the number of queued elements.
+func (b *Buffer[T]) Len() int { return b.n }
+
+// Cap returns the current backing-array capacity (0 until the first Push).
+func (b *Buffer[T]) Cap() int { return len(b.buf) }
+
+// grow doubles the backing array (minimum 8) and linearizes the content.
+func (b *Buffer[T]) grow() {
+	newCap := len(b.buf) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]T, newCap)
+	for i := 0; i < b.n; i++ {
+		nb[i] = b.buf[(b.head+i)&(len(b.buf)-1)]
+	}
+	b.buf = nb
+	b.head = 0
+}
+
+// Push appends v at the tail.
+func (b *Buffer[T]) Push(v T) {
+	if b.n == len(b.buf) {
+		b.grow()
+	}
+	b.buf[(b.head+b.n)&(len(b.buf)-1)] = v
+	b.n++
+}
+
+// Pop removes and returns the head element; it panics on an empty buffer.
+func (b *Buffer[T]) Pop() T {
+	if b.n == 0 {
+		panic("ring: Pop on empty buffer")
+	}
+	v := b.buf[b.head]
+	var zero T
+	b.buf[b.head] = zero // release the reference for GC
+	b.head = (b.head + 1) & (len(b.buf) - 1)
+	b.n--
+	return v
+}
+
+// Peek returns the head element without removing it; it panics on an empty
+// buffer.
+func (b *Buffer[T]) Peek() T {
+	if b.n == 0 {
+		panic("ring: Peek on empty buffer")
+	}
+	return b.buf[b.head]
+}
+
+// At returns the i-th element from the head (At(0) == Peek()); it panics when
+// i is out of range.
+func (b *Buffer[T]) At(i int) T {
+	if i < 0 || i >= b.n {
+		panic("ring: At out of range")
+	}
+	return b.buf[(b.head+i)&(len(b.buf)-1)]
+}

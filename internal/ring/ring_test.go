@@ -1,0 +1,84 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var b Buffer[int]
+	for i := 0; i < 100; i++ {
+		b.Push(i)
+	}
+	if b.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", b.Len())
+	}
+	if b.Peek() != 0 {
+		t.Fatalf("Peek = %d, want 0", b.Peek())
+	}
+	for i := 0; i < 100; i++ {
+		if b.At(0) != i {
+			t.Fatalf("At(0) = %d, want %d", b.At(0), i)
+		}
+		if got := b.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", b.Len())
+	}
+}
+
+func TestAtIndexesFromHead(t *testing.T) {
+	var b Buffer[string]
+	b.Push("a")
+	b.Push("b")
+	b.Push("c")
+	b.Pop() // head wraps relative to the array start
+	b.Push("d")
+	want := []string{"b", "c", "d"}
+	for i, w := range want {
+		if got := b.At(i); got != w {
+			t.Errorf("At(%d) = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestCapacityStaysBounded is the regression test for the head-of-line
+// slice-retention leak this package replaces: a queue cycled through
+// steady-state Push/Pop traffic must keep a capacity bounded by its
+// high-water mark, not grow with total throughput.
+func TestCapacityStaysBounded(t *testing.T) {
+	var b Buffer[*int]
+	const depth = 5 // steady-state queue depth
+	for i := 0; i < 1_000_000; i++ {
+		v := i
+		b.Push(&v)
+		if b.Len() > depth {
+			b.Pop()
+		}
+	}
+	if b.Cap() > 4*depth {
+		t.Fatalf("capacity %d after 1M ops at depth %d; backing array grew with throughput", b.Cap(), depth)
+	}
+}
+
+func TestPopReleasesReferences(t *testing.T) {
+	var b Buffer[*int]
+	v := new(int)
+	b.Push(v)
+	b.Pop()
+	// The slot must be zeroed so the GC can collect popped elements.
+	for i := range b.buf {
+		if b.buf[i] != nil {
+			t.Fatalf("slot %d still holds a reference after Pop", i)
+		}
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty buffer did not panic")
+		}
+	}()
+	var b Buffer[int]
+	b.Pop()
+}

@@ -20,6 +20,7 @@ func (s *SM) issue(now int64) error {
 		if err := s.issueWarp(wc, now); err != nil {
 			return err
 		}
+		s.lastIssue = now
 		if s.cfg.Policy == GTO {
 			s.greedy[sched] = wc
 		}
@@ -149,9 +150,15 @@ func (s *SM) maybeReleaseBarrier(cc *ctaCtx) {
 // requests and enqueues the op into the LD/ST pipeline.
 func (s *SM) issueGlobalMemOp(wc *warpCtx, step *emu.Step, now int64) {
 	in := step.Inst
-	op := &memOp{
-		warp: wc, inst: in, issued: now, firstAcc: -1,
+	s.accScratch = coalesce.CoalesceInto(s.accScratch[:0], step.Exec, &step.Addrs)
+	accs := s.accScratch
+	if len(accs) == 0 {
+		// Fully predicated-off memory op: nothing to do.
+		s.unitBusyUntil[isa.UnitLDST] = now + 1
+		return
 	}
+	op := s.getOp()
+	op.warp, op.inst, op.issued, op.firstAcc = wc, in, now, -1
 	switch in.Op {
 	case isa.OpLd:
 		op.kind = opGlobalLoad
@@ -164,12 +171,6 @@ func (s *SM) issueGlobalMemOp(wc *warpCtx, step *emu.Step, now int64) {
 		op.kind = opGlobalStore
 	}
 
-	accs := coalesce.Coalesce(step.Exec, &step.Addrs)
-	if len(accs) == 0 {
-		// Fully predicated-off memory op: nothing to do.
-		s.unitBusyUntil[isa.UnitLDST] = now + 1
-		return
-	}
 	kind := memreq.Load
 	switch op.kind {
 	case opGlobalStore:
@@ -179,18 +180,17 @@ func (s *SM) issueGlobalMemOp(wc *warpCtx, step *emu.Step, now int64) {
 	}
 	for _, a := range accs {
 		s.nextReqID++
-		r := &memreq.Request{
-			ID:        uint64(s.ID)<<48 | s.nextReqID,
-			Block:     a.Block,
-			Kind:      kind,
-			SM:        s.ID,
-			Partition: s.backend.PartitionOf(s.ID, a.Block),
-			PC:        in.PC,
-			Kernel:    s.kernelName,
-			NonDet:    op.nonDet,
-			Lanes:     a.LaneCount(),
-			Issued:    now,
-		}
+		r := s.pool.Get()
+		r.ID = uint64(s.ID)<<48 | s.nextReqID
+		r.Block = a.Block
+		r.Kind = kind
+		r.SM = s.ID
+		r.Partition = s.backend.PartitionOf(s.ID, a.Block)
+		r.PC = in.PC
+		r.Kernel = s.kernelName
+		r.NonDet = op.nonDet
+		r.Lanes = a.LaneCount()
+		r.Issued = now
 		op.reqs = append(op.reqs, r)
 	}
 	if op.isLoad {

@@ -35,10 +35,19 @@ func (s *SM) stepLDST(now int64) {
 	if op.next >= len(op.reqs) {
 		s.popLDST()
 		if op.kind == opGlobalStore {
-			// Stores retire at acceptance; nothing outstanding.
+			// Stores retire at acceptance; nothing outstanding. Their
+			// requests are recycled downstream when the DRAM channel issues
+			// them, so only the op itself returns to the free list here.
+			s.putOp(op)
 			return
 		}
-		if op.isLoad && s.outstanding[op] == 0 {
+		if !op.isLoad {
+			// Atomic without a destination: nothing tracks the op, and its
+			// requests retire individually as ownerless replies.
+			s.putOp(op)
+			return
+		}
+		if s.outstanding[op] == 0 {
 			// Every request hit: completion happens via hit events; the op
 			// is already tracked there.
 			return
@@ -110,18 +119,17 @@ func (s *SM) tryLoad(op *memOp, r *memreq.Request, now int64) {
 func (s *SM) tryPrefetch(demand *memreq.Request, now int64) {
 	block := demand.Block + uint32(s.cfg.L1.LineBytes)
 	s.nextReqID++
-	pf := &memreq.Request{
-		ID:        uint64(s.ID)<<48 | s.nextReqID,
-		Block:     block,
-		Kind:      memreq.Load,
-		SM:        s.ID,
-		Partition: s.backend.PartitionOf(s.ID, block),
-		PC:        demand.PC,
-		Kernel:    s.kernelName,
-		NonDet:    demand.NonDet,
-		Prefetch:  true,
-		Issued:    now,
-	}
+	pf := s.pool.Get()
+	pf.ID = uint64(s.ID)<<48 | s.nextReqID
+	pf.Block = block
+	pf.Kind = memreq.Load
+	pf.SM = s.ID
+	pf.Partition = s.backend.PartitionOf(s.ID, block)
+	pf.PC = demand.PC
+	pf.Kernel = s.kernelName
+	pf.NonDet = demand.NonDet
+	pf.Prefetch = true
+	pf.Issued = now
 	inject := func() bool {
 		if !s.backend.CanInject(s.ID) {
 			return false
@@ -133,8 +141,13 @@ func (s *SM) tryPrefetch(demand *memreq.Request, now int64) {
 	// The prefetch probe's outcome is deliberately not recorded in the
 	// Figure 3 statistics: the paper's cycle accounting covers demand
 	// accesses only.
-	if s.L1.Access(pf, now, inject) == cache.Miss {
+	switch s.L1.Access(pf, now, inject) {
+	case cache.Miss:
 		s.col.Prefetches++
+	case cache.HitReserved:
+		// Merged onto an in-flight line: retires as a fill target later.
+	default:
+		s.pool.Put(pf) // not retained by the cache: recycle immediately
 	}
 }
 
@@ -179,6 +192,9 @@ func (s *SM) HandleReply(r *memreq.Request, now int64) {
 	if r.Kind == memreq.Store {
 		return // write acks are not modeled
 	}
+	// A completing load can clear a scoreboard hazard right now; the stall
+	// cache's deadlines know nothing about external arrivals.
+	s.stallUntil = 0
 	if r.BypassL1 {
 		r.Returned = now
 		s.completeRequest(r, now)
@@ -203,7 +219,10 @@ func (s *SM) completeRequest(r *memreq.Request, now int64) {
 	}
 	op, ok := s.reqOwner[r]
 	if !ok {
-		return // stores, or requests of already-faulted ops
+		// Ownerless responses (prefetches, atomics without a destination)
+		// are terminal once traced.
+		s.pool.Put(r)
+		return
 	}
 	delete(s.reqOwner, r)
 	s.outstanding[op]--
@@ -214,6 +233,15 @@ func (s *SM) completeRequest(r *memreq.Request, now int64) {
 	s.completeLoadOp(op, now)
 }
 
+// releaseOp recycles a completed op and its requests; every response has
+// been recorded and traced by the time this runs.
+func (s *SM) releaseOp(op *memOp) {
+	for _, r := range op.reqs {
+		s.pool.Put(r)
+	}
+	s.putOp(op)
+}
+
 // completeLoadOp writes back the load and folds its timing into the
 // turnaround statistics (Fig 5-7 decomposition).
 func (s *SM) completeLoadOp(op *memOp, now int64) {
@@ -221,7 +249,8 @@ func (s *SM) completeLoadOp(op *memOp, now int64) {
 		op.warp.pendingReg[reg]--
 	}
 	if op.kind != opGlobalLoad {
-		return // atomics are not part of the paper's load statistics
+		s.releaseOp(op) // atomics are not part of the paper's load statistics
+		return
 	}
 
 	total := now - op.issued
@@ -274,4 +303,5 @@ func (s *SM) completeLoadOp(op *memOp, now int64) {
 		rec.GapIcntL2 = icntGapSum / missCount
 	}
 	s.col.RecordLoadOp(rec)
+	s.releaseOp(op)
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"critload/internal/cache"
+	"critload/internal/coalesce"
 	"critload/internal/emu"
 	"critload/internal/isa"
 	"critload/internal/memreq"
@@ -259,6 +260,24 @@ type SM struct {
 	rr     []int // per-scheduler round-robin cursor
 	greedy []*warpCtx
 
+	// Zero-alloc hot-path state: the device-wide request free list, a local
+	// memOp free list, a coalescer scratch slice, and the cycle of the last
+	// instruction issue (a cheap NextEvent shortcut).
+	pool       *memreq.Pool
+	opFree     []*memOp
+	accScratch []coalesce.Access
+	lastIssue  int64
+
+	// Stall cache, used only under the fast-forward engine (the naive loop
+	// stays a dumb oracle that re-scans every cycle). After a cycle in which
+	// nothing issued and the LD/ST queue is empty, stallUntil holds the SM's
+	// NextEvent horizon: no internal deadline (writeback, hit, unit free) and
+	// hence no issue can occur before it, so Step skips the scheduler scan and
+	// NextEvent returns it directly. Anything external that can wake a warp
+	// (a reply, a new CTA, a new kernel) resets it to 0.
+	fastForward bool
+	stallUntil  int64
+
 	nextReqID uint64
 	tracer    Tracer
 
@@ -268,6 +287,45 @@ type SM struct {
 
 // SetTracer installs (or removes, with nil) a per-request trace sink.
 func (s *SM) SetTracer(t Tracer) { s.tracer = t }
+
+// SetPool installs the device-wide request free list (nil keeps plain
+// allocation). The gpu package shares one pool across all SMs and memory
+// partitions; see memreq.Pool for the ownership rules.
+func (s *SM) SetPool(p *memreq.Pool) { s.pool = p }
+
+// SetFastForward enables the stall cache that lets Step elide provably
+// fruitless scheduler scans. Only the fast-forward engine turns it on: the
+// serial loop is kept free of event reasoning so it remains an independent
+// differential-testing oracle (a NextEvent overestimate then shows up as an
+// engine divergence instead of corrupting both engines identically).
+func (s *SM) SetFastForward(on bool) { s.fastForward = on }
+
+// getOp takes a memOp from the free list (or allocates one), keeping the
+// recycled reqs backing array.
+func (s *SM) getOp() *memOp {
+	if n := len(s.opFree); n > 0 {
+		op := s.opFree[n-1]
+		s.opFree[n-1] = nil
+		s.opFree = s.opFree[:n-1]
+		reqs := op.reqs[:0]
+		*op = memOp{reqs: reqs}
+		return op
+	}
+	return &memOp{}
+}
+
+// putOp recycles a terminal memOp: one that left the LD/ST queue and whose
+// completion (if any) has been fully recorded. Request pointers are dropped
+// here; the requests themselves are recycled at their own terminal points.
+func (s *SM) putOp(op *memOp) {
+	for i := range op.reqs {
+		op.reqs[i] = nil
+	}
+	op.reqs = op.reqs[:0]
+	op.warp = nil
+	op.inst = nil
+	s.opFree = append(s.opFree, op)
+}
 
 // New builds an SM.
 func New(id int, cfg Config, lat LatencyModel, backend Backend, col *stats.Collector) (*SM, error) {
@@ -285,6 +343,7 @@ func New(id int, cfg Config, lat LatencyModel, backend Backend, col *stats.Colle
 		rr:          make([]int, cfg.NumSchedulers),
 		greedy:      make([]*warpCtx, cfg.NumSchedulers),
 		schedWarps:  make([][]*warpCtx, cfg.NumSchedulers),
+		lastIssue:   -1,
 	}, nil
 }
 
@@ -293,6 +352,7 @@ func (s *SM) SetKernel(env *emu.Env, kernelName string, classify stats.Classifie
 	s.env = env
 	s.kernelName = kernelName
 	s.classify = classify
+	s.stallUntil = 0
 	// GPUs invalidate L1 between kernel launches.
 	s.L1.InvalidateAll()
 }
@@ -322,6 +382,7 @@ func (s *SM) LaunchCTA(l *emu.Launch, id int) {
 		regs:      l.Kernel.NumRegs * l.Block.Count(),
 	}
 	s.ctas = append(s.ctas, cc)
+	s.stallUntil = 0 // fresh warps may issue immediately
 	s.usedThreads += cc.threads
 	s.usedShared += cc.shared
 	s.usedRegs += cc.regs
@@ -391,8 +452,21 @@ func (s *SM) retireCTA(cc *ctaCtx) {
 func (s *SM) Step(now int64) error {
 	s.processWritebacks(now)
 	s.stepLDST(now)
+	if now < s.stallUntil {
+		// Frozen: stallUntil is the minimum over every internal deadline, so
+		// nothing was processed above and no warp can have become issuable.
+		// Only the occupancy counters advance, exactly as a fruitless full
+		// step would leave them.
+		s.recordOccupancy(now)
+		return nil
+	}
 	if err := s.issue(now); err != nil {
 		return err
+	}
+	if s.fastForward && s.lastIssue != now && len(s.ldstQ) == 0 {
+		s.stallUntil = s.NextEvent(now)
+	} else {
+		s.stallUntil = 0
 	}
 	s.recordOccupancy(now)
 	return nil

@@ -285,6 +285,14 @@ func (c *Collector) RecordUnitCycle(u isa.FuncUnit, busy bool) {
 // RecordSMCycle counts one SM-cycle (denominator for Fig 4).
 func (c *Collector) RecordSMCycle() { c.SMCycles++ }
 
+// RecordSMCycles counts n SM-cycles at once; the fast-forward engine uses it
+// to account a skipped window exactly as n RecordSMCycle calls would have.
+func (c *Collector) RecordSMCycles(n uint64) { c.SMCycles += n }
+
+// RecordUnitCycles accumulates n busy SM-cycles for a unit at once (the
+// batch counterpart of RecordUnitCycle for fast-forwarded windows).
+func (c *Collector) RecordUnitCycles(u isa.FuncUnit, n uint64) { c.UnitBusy[u] += n }
+
 // LoadOpRecord summarizes one completed warp-level global load for the
 // turnaround statistics.
 type LoadOpRecord struct {

@@ -1,0 +1,70 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"critload/internal/dataflow"
+	"critload/internal/kgen"
+)
+
+// replayDir runs every committed case under dir through the three oracles.
+// Returns how many cases ran and the class totals.
+func replayDir(t *testing.T, dir string) (n, det, nondet int) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.ptx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			c, err := kgen.LoadCase(f)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			rep := Check(c, Options{})
+			for _, d := range rep.Divergences {
+				t.Errorf("%s", d)
+			}
+		})
+		c, err := kgen.LoadCase(f)
+		if err != nil {
+			continue
+		}
+		n++
+		for _, cls := range c.Want {
+			if cls == dataflow.Deterministic {
+				det++
+			} else {
+				nondet++
+			}
+		}
+	}
+	return n, det, nondet
+}
+
+// TestCorpusReplay replays the committed regression corpus on plain
+// `go test`, so tier-1 catches oracle regressions without any fuzzing. The
+// corpus is decoupled from the generator: cases are reparsed from their
+// .ptx/.json pair, so they stay valid as the generator evolves.
+func TestCorpusReplay(t *testing.T) {
+	n, det, nondet := replayDir(t, filepath.Join("testdata", "corpus"))
+	if n < 10 {
+		t.Fatalf("committed corpus has %d cases; want at least 10", n)
+	}
+	if det == 0 || nondet == 0 {
+		t.Errorf("corpus ground truth must cover both classes, got det=%d nondet=%d", det, nondet)
+	}
+}
+
+// TestRegressionReplay replays shrunk findings from past fuzz campaigns
+// (none is also fine — an empty directory means no bug has ever escaped).
+func TestRegressionReplay(t *testing.T) {
+	dir := filepath.Join("testdata", "regressions")
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		t.Skip("no regressions directory")
+	}
+	replayDir(t, dir)
+}

@@ -1,0 +1,35 @@
+package difftest
+
+import (
+	"testing"
+
+	"critload/internal/kgen"
+)
+
+// FuzzKernelDifferential feeds generator seeds through the full three-oracle
+// check. The seed corpus doubles as a quick differential test on plain
+// `go test`; under -fuzz the engine explores the seed space guided by
+// coverage of the generator, emulator, both cycle engines and the
+// classifier.
+func FuzzKernelDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	// A few spicier corners: large magnitudes and sign boundaries.
+	f.Add(int64(-1))
+	f.Add(int64(1) << 62)
+	f.Add(int64(-1) << 62)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c, err := kgen.Build(kgen.Generate(seed, kgen.DefaultConfig()))
+		if err != nil {
+			t.Fatalf("seed %d: generator must always build: %v", seed, err)
+		}
+		rep := Check(c, Options{})
+		if rep.Failed() {
+			for _, d := range rep.Divergences {
+				t.Errorf("seed %d: %s", seed, d)
+			}
+			t.Fatalf("kernel:\n%s", c.Kernel.Disassemble())
+		}
+	})
+}

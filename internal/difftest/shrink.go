@@ -1,0 +1,57 @@
+package difftest
+
+import (
+	"critload/internal/kgen"
+)
+
+// Shrink greedily minimizes a failing program: it deletes op chunks in
+// decreasing sizes (ddmin-style), repairing each candidate back to a
+// well-formed program, and keeps any candidate on which stillFails holds.
+// The returned program is 1-minimal up to Repair: deleting any single
+// further op makes the failure disappear (or the repair re-grows the list).
+//
+// stillFails must be deterministic; maxChecks bounds how many candidate
+// programs are evaluated (0 = a generous default), since each check can
+// involve four engine runs.
+func Shrink(p *kgen.Prog, stillFails func(*kgen.Prog) bool, maxChecks int) *kgen.Prog {
+	if maxChecks <= 0 {
+		maxChecks = 2000
+	}
+	checks := 0
+	tryFails := func(q *kgen.Prog) bool {
+		if checks >= maxChecks {
+			return false
+		}
+		checks++
+		return stillFails(q)
+	}
+
+	cur := kgen.Repair(p)
+	if !tryFails(cur) {
+		// Repair changed behavior (or the failure was flaky): fall back to
+		// the original, unshrunk program.
+		return p
+	}
+	for improved := true; improved; {
+		improved = false
+		for chunk := len(cur.Ops); chunk >= 1 && !improved; chunk = chunk / 2 {
+			for lo := 0; lo+chunk <= len(cur.Ops); lo++ {
+				cand := cur.Clone()
+				cand.Ops = append(append([]kgen.Op(nil), cand.Ops[:lo]...), cand.Ops[lo+chunk:]...)
+				cand = kgen.Repair(cand)
+				if len(cand.Ops) >= len(cur.Ops) {
+					continue
+				}
+				if tryFails(cand) {
+					cur = cand
+					improved = true
+					break
+				}
+			}
+		}
+		if checks >= maxChecks {
+			break
+		}
+	}
+	return cur
+}

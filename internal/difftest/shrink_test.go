@@ -1,0 +1,98 @@
+package difftest
+
+import (
+	"testing"
+
+	"critload/internal/gpu"
+	"critload/internal/kgen"
+)
+
+// plantedOptions builds a deliberately broken engine pair: engine B runs
+// with a different SP latency, so any kernel — even an empty one, whose
+// prologue still issues ALU instructions — diverges on the timing oracle.
+// This stands in for a real engine bug with a known, always-reproducible
+// signature.
+func plantedOptions() Options {
+	return Options{
+		GPUB: func() gpu.Config {
+			cfg := gpu.DefaultConfig()
+			cfg.SM.SPLatency++
+			return cfg
+		},
+	}
+}
+
+// TestShrinkPlantedDivergence verifies the whole find→shrink pipeline on an
+// artificially injected engine-behavior flip: the shrinker must drive the
+// failing program down to (near) nothing while the divergence persists.
+func TestShrinkPlantedDivergence(t *testing.T) {
+	opts := plantedOptions()
+	p := kgen.Generate(42, kgen.DefaultConfig())
+	fails := func(q *kgen.Prog) bool {
+		c, err := kgen.Build(q)
+		if err != nil {
+			return false
+		}
+		return Check(c, opts).Failed()
+	}
+	if !fails(p) {
+		t.Fatalf("planted divergence did not fire on the original program")
+	}
+	shrunk := Shrink(p, fails, 0)
+	if !fails(shrunk) {
+		t.Fatalf("shrunk program no longer fails")
+	}
+	if len(shrunk.Ops) > 1 {
+		t.Errorf("expected a (near-)empty minimal program, got %d ops: %v",
+			len(shrunk.Ops), shrunk.Ops)
+	}
+	if len(shrunk.Ops) >= len(p.Ops) {
+		t.Errorf("shrinker made no progress: %d -> %d ops", len(p.Ops), len(shrunk.Ops))
+	}
+}
+
+// TestShrinkPreservesLoadDependentDivergence plants a flip that only fires
+// when the kernel issues global loads (a bigger L1 makes every load-bearing
+// kernel diverge), so the shrinker must keep a load alive while discarding
+// everything else.
+func TestShrinkPreservesLoadDependentDivergence(t *testing.T) {
+	opts := Options{
+		GPUB: func() gpu.Config {
+			cfg := gpu.DefaultConfig()
+			cfg.SM.L1.HitLatency++
+			return cfg
+		},
+	}
+	p := kgen.Generate(43, kgen.DefaultConfig())
+	fails := func(q *kgen.Prog) bool {
+		c, err := kgen.Build(q)
+		if err != nil {
+			return false
+		}
+		return Check(c, opts).Failed()
+	}
+	if !fails(p) {
+		t.Fatalf("planted load-latency divergence did not fire")
+	}
+	shrunk := Shrink(p, fails, 0)
+	if !fails(shrunk) {
+		t.Fatalf("shrunk program no longer fails")
+	}
+	if len(shrunk.Ops) > 2 {
+		t.Errorf("expected a minimal load-bearing program, got %d ops: %v",
+			len(shrunk.Ops), shrunk.Ops)
+	}
+	loads := 0
+	c, err := kgen.Build(shrunk)
+	if err != nil {
+		t.Fatalf("shrunk program does not build: %v", err)
+	}
+	for _, in := range c.Kernel.Insts {
+		if in.IsGlobalLoad() {
+			loads++
+		}
+	}
+	if loads == 0 {
+		t.Errorf("shrunk kernel lost its global load; the divergence driver is gone")
+	}
+}

@@ -1,0 +1,35 @@
+package difftest
+
+import (
+	"testing"
+
+	"critload/internal/kgen"
+)
+
+// TestHundredKernelSweep is the headline acceptance check: one hundred
+// seeded kernels through all three oracles, zero divergences, and — asserted
+// per kernel, not assumed — ground truth covering both load classes.
+func TestHundredKernelSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is not a -short test")
+	}
+	opts := Options{}
+	for seed := int64(1); seed <= 100; seed++ {
+		c, err := kgen.Build(kgen.Generate(seed, kgen.DefaultConfig()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := Check(c, opts)
+		if rep.Det == 0 || rep.NonDet == 0 {
+			t.Errorf("seed %d: ground truth must cover both classes, got det=%d nondet=%d",
+				seed, rep.Det, rep.NonDet)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d diverges:", seed)
+			for _, d := range rep.Divergences {
+				t.Errorf("  %s", d)
+			}
+			t.Logf("kernel:\n%s", c.Kernel.Disassemble())
+		}
+	}
+}

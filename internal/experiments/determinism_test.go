@@ -1,24 +1,11 @@
 package experiments
 
 import (
-	"reflect"
 	"testing"
 
 	"critload/internal/gpu"
 	"critload/internal/stats"
 )
-
-// describe summarizes the collector counters most likely to diverge, so a
-// determinism failure points at the broken subsystem instead of a bare
-// "not equal".
-func describe(t *testing.T, label string, r *Run) {
-	t.Helper()
-	c := r.Col
-	t.Logf("%s: cycles=%d gpuCycles=%d smCycles=%d unitBusy=%v warpInsts=%d",
-		label, r.Cycles, c.GPUCycles, c.SMCycles, c.UnitBusy, c.WarpInsts)
-	t.Logf("%s: l1Outcomes=%v l2Acc=%v l2Miss=%v turnaround=%+v",
-		label, c.L1Outcomes, c.L2Acc, c.L2Miss, c.Turnaround)
-}
 
 // TestFastForwardMatchesSerialLoop is the fast-forward engine's core
 // contract: for every workload, event-horizon skipping must produce a
@@ -40,13 +27,8 @@ func TestFastForwardMatchesSerialLoop(t *testing.T) {
 			if err != nil {
 				t.Fatalf("serial run: %v", err)
 			}
-			if fast.Cycles != serial.Cycles {
-				t.Errorf("cycles diverge: fast-forward %d, serial %d", fast.Cycles, serial.Cycles)
-			}
-			if !reflect.DeepEqual(fast.Col, serial.Col) {
-				t.Errorf("statistics diverge between fast-forward and serial engines")
-				describe(t, "fast-forward", fast)
-				describe(t, "serial", serial)
+			for _, d := range DiffRuns(fast, serial) {
+				t.Errorf("fast-forward vs serial: %s", d)
 			}
 		})
 	}
@@ -69,13 +51,8 @@ func TestTimingRunsAreDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatalf("second run: %v", err)
 			}
-			if first.Cycles != second.Cycles {
-				t.Errorf("cycles diverge across runs: %d vs %d", first.Cycles, second.Cycles)
-			}
-			if !reflect.DeepEqual(first.Col, second.Col) {
-				t.Errorf("statistics diverge across identical runs")
-				describe(t, "first", first)
-				describe(t, "second", second)
+			for _, d := range DiffRuns(first, second) {
+				t.Errorf("repeat run: %s", d)
 			}
 			if first.Col.Turnaround[stats.Det].Ops+first.Col.Turnaround[stats.NonDet].Ops == 0 {
 				t.Errorf("no turnarounds recorded; determinism check is vacuous")

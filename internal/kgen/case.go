@@ -1,0 +1,166 @@
+package kgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"critload/internal/dataflow"
+	"critload/internal/emu"
+	"critload/internal/mem"
+	"critload/internal/ptx"
+)
+
+// Case is one self-contained differential-test case: a kernel, its launch
+// geometry, seeded input arrays and the ground-truth classification of every
+// global load. A Case can be saved as a .ptx/.json pair and replayed later
+// without the generator, so the committed corpus stays valid even when the
+// generator evolves.
+type Case struct {
+	Name      string
+	Kernel    *ptx.Kernel
+	Prog      *Prog // nil for cases loaded from disk
+	GridX     int
+	BlockX    int
+	DataWords int
+	Data0     []uint32
+	Data1     []uint32
+	Const     []uint32
+	// Want maps instruction index → expected class for every global load.
+	Want map[int]dataflow.Class
+}
+
+// Env is one materialized execution environment for a case: a fresh memory
+// with the input arrays and zeroed output/scratch regions, plus the launch.
+// Allocation order is fixed, so every Env of a case sees identical addresses
+// — a precondition for comparing runs across engines.
+type Env struct {
+	Mem         *mem.Memory
+	Launch      *emu.Launch
+	OutBase     uint32
+	ScratchBase uint32
+	OutWords    int
+}
+
+// NewEnv builds a fresh environment.
+func (c *Case) NewEnv() *Env {
+	m := mem.New()
+	d0 := m.AllocU32s(c.Data0)
+	d1 := m.AllocU32s(c.Data1)
+	cb := m.AllocU32s(c.Const)
+	outWords := c.GridX * c.BlockX * OutSlots
+	out := m.Alloc(uint32(outWords * 4))
+	scratch := m.Alloc(ScratchWords * 4)
+	l := &emu.Launch{
+		Kernel: c.Kernel,
+		Grid:   emu.Dim1(c.GridX),
+		Block:  emu.Dim1(c.BlockX),
+		Params: []uint32{d0, d1, cb, out, scratch},
+	}
+	return &Env{Mem: m, Launch: l, OutBase: out, ScratchBase: scratch, OutWords: outWords}
+}
+
+// Snapshot reads back every mutable word of the environment: the output
+// array followed by the atomic scratch array. Two engines agree on a case
+// exactly when their snapshots agree.
+func (e *Env) Snapshot() []uint32 {
+	s := e.Mem.ReadU32s(e.OutBase, e.OutWords)
+	return append(s, e.Mem.ReadU32s(e.ScratchBase, ScratchWords)...)
+}
+
+// caseJSON is the on-disk metadata format next to the .ptx file.
+type caseJSON struct {
+	Name      string            `json:"name"`
+	GridX     int               `json:"gridX"`
+	BlockX    int               `json:"blockX"`
+	DataWords int               `json:"dataWords"`
+	Data0     []uint32          `json:"data0"`
+	Data1     []uint32          `json:"data1"`
+	Const     []uint32          `json:"const"`
+	Want      map[string]string `json:"want"`
+}
+
+func classString(c dataflow.Class) string {
+	if c == dataflow.NonDeterministic {
+		return "N"
+	}
+	return "D"
+}
+
+// Save writes the case as <dir>/<name>.ptx plus <dir>/<name>.json.
+func (c *Case) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, c.Name+".ptx"),
+		[]byte(c.Kernel.Disassemble()), 0o644); err != nil {
+		return err
+	}
+	j := caseJSON{
+		Name: c.Name, GridX: c.GridX, BlockX: c.BlockX, DataWords: c.DataWords,
+		Data0: c.Data0, Data1: c.Data1, Const: c.Const,
+		Want: map[string]string{},
+	}
+	for idx, cls := range c.Want {
+		j.Want[strconv.Itoa(idx)] = classString(cls)
+	}
+	buf, err := json.MarshalIndent(&j, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, c.Name+".json"), append(buf, '\n'), 0o644)
+}
+
+// LoadCase reads a saved case back; path names either the .ptx or the .json
+// half of the pair.
+func LoadCase(path string) (*Case, error) {
+	base := strings.TrimSuffix(strings.TrimSuffix(path, ".json"), ".ptx")
+	src, err := os.ReadFile(base + ".ptx")
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ptx.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("kgen: %s.ptx: %w", base, err)
+	}
+	if len(prog.Kernels) != 1 {
+		return nil, fmt.Errorf("kgen: %s.ptx: expected exactly one kernel, got %d", base, len(prog.Kernels))
+	}
+	buf, err := os.ReadFile(base + ".json")
+	if err != nil {
+		return nil, err
+	}
+	var j caseJSON
+	if err := json.Unmarshal(buf, &j); err != nil {
+		return nil, fmt.Errorf("kgen: %s.json: %w", base, err)
+	}
+	c := &Case{
+		Name:      j.Name,
+		Kernel:    prog.Kernels[0],
+		GridX:     j.GridX,
+		BlockX:    j.BlockX,
+		DataWords: j.DataWords,
+		Data0:     j.Data0,
+		Data1:     j.Data1,
+		Const:     j.Const,
+		Want:      map[int]dataflow.Class{},
+	}
+	for key, v := range j.Want {
+		idx, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("kgen: %s.json: bad want key %q", base, key)
+		}
+		switch v {
+		case "D":
+			c.Want[idx] = dataflow.Deterministic
+		case "N":
+			c.Want[idx] = dataflow.NonDeterministic
+		default:
+			return nil, fmt.Errorf("kgen: %s.json: bad want class %q", base, v)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,208 @@
+package kgen
+
+import (
+	"math/rand"
+)
+
+// Config bounds the generated program shape.
+type Config struct {
+	// MinOps/MaxOps bound the IR op count (excluding the ops Generate
+	// appends to guarantee coverage).
+	MinOps, MaxOps int
+	// SharedProb is the probability of generating a shared-memory phase
+	// (stores → barrier → loads).
+	SharedProb float64
+}
+
+// DefaultConfig returns the fuzzing defaults. The op ceiling keeps every
+// kernel inside the SM register budget (≈3 registers per op plus a fixed
+// prologue) with room to spare.
+func DefaultConfig() Config {
+	return Config{MinOps: 8, MaxOps: 40, SharedProb: 0.6}
+}
+
+// Generate produces a well-formed random program from the seed. The same
+// seed and config always produce the identical program, and therefore —
+// through the deterministic lowering — byte-identical PTX.
+//
+// Every generated program contains at least one deterministic and one
+// non-deterministic global load and at least one output store, so a
+// differential sweep can assert class coverage per kernel instead of hoping
+// for it.
+func Generate(seed int64, cfg Config) *Prog {
+	if cfg.MaxOps < cfg.MinOps || cfg.MaxOps == 0 {
+		cfg = DefaultConfig()
+	}
+	r := rand.New(rand.NewSource(seed))
+	p := &Prog{
+		Seed:      seed,
+		GridX:     1 + r.Intn(4),
+		BlockX:    []int{32, 64, 128}[r.Intn(3)],
+		DataWords: []int{256, 512, 1024}[r.Intn(3)],
+		AtomOp:    atomOps[r.Intn(len(atomOps))],
+	}
+	budget := cfg.MinOps + r.Intn(cfg.MaxOps-cfg.MinOps+1)
+
+	var infos []opInfo
+	var stack []int // op indices of open structures
+	curPath := func() []int { return append([]int(nil), stack...) }
+	add := func(op Op) int {
+		i := len(p.Ops)
+		p.Ops = append(p.Ops, canon(op))
+		if op.Kind == KLoop || op.Kind == KIf {
+			stack = append(stack, i)
+		}
+		if op.Kind == KEnd && len(stack) > 0 {
+			stack = stack[:len(stack)-1]
+		}
+		infos = analyze(p)
+		return i
+	}
+	// pick draws a uniformly random in-scope reference with the requested
+	// properties, or -1 if none exists.
+	pick := func(pred, needCalm, needTaint bool) int {
+		path := curPath()
+		var cand []int
+		for j := range infos {
+			inf := &infos[j]
+			if inf.dead {
+				continue
+			}
+			if pred && !inf.pred || !pred && !inf.val {
+				continue
+			}
+			if needCalm && inf.vol || needTaint && !inf.taint {
+				continue
+			}
+			if !isPrefix(inf.path, path) {
+				continue
+			}
+			cand = append(cand, j)
+		}
+		if len(cand) == 0 {
+			return -1
+		}
+		return cand[r.Intn(len(cand))]
+	}
+	// maybeRef picks a reference most of the time, falling back to the
+	// gtid/imm fallback otherwise.
+	maybeRef := func(needCalm bool) int {
+		if r.Float64() < 0.85 {
+			return pick(false, needCalm, false)
+		}
+		return -1
+	}
+
+	// Taint root: every kernel opens with a deterministic global load of
+	// Data[gtid & mask], the seed of all data-dependent address chains.
+	add(Op{Kind: KLoadG, A: -1, Imm: uint32(r.Uint32())})
+
+	// Optional shared phase: own-slot stores, one barrier; loads come later.
+	withShared := r.Float64() < cfg.SharedProb
+	if withShared {
+		for i := 0; i < 1+r.Intn(2); i++ {
+			add(Op{Kind: KShStore, A: maybeRef(true)})
+		}
+		add(Op{Kind: KBar})
+	}
+
+	haveN, haveStore := false, false
+	for len(p.Ops) < budget {
+		depth := len(stack)
+		// Weighted kind choice under the structural constraints.
+		type choice struct {
+			kind OpKind
+			w    int
+		}
+		choices := []choice{
+			{KAlu, 20}, {KImm, 6}, {KSetp, 10}, {KSelp, 6}, {KGuard, 6},
+			{KLoadG, 16}, {KLoadC, 4}, {KLoadT, 4}, {KAtom, 5}, {KStore, 8},
+		}
+		if withShared {
+			choices = append(choices, choice{KShLoad, 7})
+		}
+		if depth < 2 {
+			choices = append(choices, choice{KLoop, 5})
+			if pick(true, true, false) >= 0 {
+				choices = append(choices, choice{KIf, 5})
+			}
+		}
+		if depth > 0 {
+			choices = append(choices, choice{KEnd, 12})
+		}
+		total := 0
+		for _, c := range choices {
+			total += c.w
+		}
+		n := r.Intn(total)
+		var kind OpKind
+		for _, c := range choices {
+			if n < c.w {
+				kind = c.kind
+				break
+			}
+			n -= c.w
+		}
+
+		switch kind {
+		case KAlu:
+			add(Op{Kind: KAlu, A: maybeRef(false), B: maybeRef(false),
+				Alu: r.Intn(len(aluOps)), Imm: uint32(r.Uint32())})
+		case KImm:
+			add(Op{Kind: KImm, Imm: uint32(r.Uint32())})
+		case KSetp:
+			add(Op{Kind: KSetp, A: maybeRef(false), B: maybeRef(false),
+				Alu: r.Intn(len(cmpOps)), Imm: uint32(r.Uint32())})
+		case KSelp:
+			add(Op{Kind: KSelp, A: maybeRef(false), B: maybeRef(false),
+				P: pick(true, false, false), Imm: uint32(r.Uint32())})
+		case KGuard:
+			add(Op{Kind: KGuard, A: maybeRef(false), B: maybeRef(false),
+				P: pick(true, false, false), Alu: r.Intn(len(aluOps)),
+				Imm: uint32(r.Uint32())})
+		case KLoadG:
+			a := -1
+			if r.Float64() < 0.55 {
+				a = pick(false, false, true) // chase a tainted chain: N load
+			}
+			if a < 0 && r.Float64() < 0.5 {
+				a = pick(false, false, false)
+			}
+			add(Op{Kind: KLoadG, A: a, Imm: uint32(r.Uint32())})
+			if a >= 0 && infos[a].taint {
+				haveN = true
+			}
+		case KLoadC:
+			add(Op{Kind: KLoadC, A: maybeRef(false)})
+		case KLoadT:
+			add(Op{Kind: KLoadT, A: maybeRef(false), Imm: uint32(r.Uint32())})
+		case KAtom:
+			add(Op{Kind: KAtom, A: pick(false, true, false),
+				B: pick(false, true, false), Imm: uint32(r.Uint32())})
+		case KShLoad:
+			add(Op{Kind: KShLoad, A: maybeRef(false)})
+		case KStore:
+			add(Op{Kind: KStore, A: pick(false, true, false), Imm: uint32(r.Uint32())})
+			haveStore = true
+		case KLoop:
+			add(Op{Kind: KLoop, Imm: uint32(r.Intn(MaxTrip))})
+		case KIf:
+			add(Op{Kind: KIf, P: pick(true, true, false), Imm: uint32(r.Intn(2))})
+		case KEnd:
+			add(Op{Kind: KEnd})
+		}
+	}
+	for len(stack) > 0 {
+		add(Op{Kind: KEnd})
+	}
+
+	// Coverage guarantees: one N load (op 0 is always a tainted in-scope
+	// value) and one store of a schedule-independent value.
+	if !haveN {
+		add(Op{Kind: KLoadG, A: pick(false, false, true), Imm: uint32(r.Uint32())})
+	}
+	if !haveStore {
+		add(Op{Kind: KStore, A: pick(false, true, false), Imm: uint32(r.Uint32())})
+	}
+	return p
+}

@@ -1,0 +1,275 @@
+package kgen
+
+import (
+	"fmt"
+
+	"critload/internal/dataflow"
+	"critload/internal/isa"
+	"critload/internal/ptx"
+)
+
+// RegisterBudget caps NumRegs × BlockX so every generated kernel fits an
+// SM's 32768-register file: a kernel that cannot be scheduled livelocks the
+// timing simulator, which is the one failure mode a differential harness
+// must never construct on purpose.
+const RegisterBudget = 30720
+
+// Build lowers a program to a PTX kernel and packages it as a self-contained
+// test case: kernel, launch geometry, seeded input arrays, and the
+// ground-truth classification (Want) of every emitted global load. The
+// ground truth falls out of the same reference analysis the lowering uses to
+// pick operands, so it is correct by construction; dataflow.Classify must
+// reproduce it exactly.
+//
+// Build expects a well-formed program (Generate or Repair output).
+func Build(p *Prog) (*Case, error) {
+	infos := analyze(p)
+	b := ptx.NewBuilder(fmt.Sprintf("kgen_%016x", uint64(p.Seed)))
+	for _, name := range paramNames {
+		b.Param(name, isa.U32)
+	}
+	useShared := false
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case KShStore, KShLoad, KBar:
+			useShared = true
+		}
+	}
+	if useShared {
+		b.Shared(4 * p.BlockX)
+	}
+
+	nextReg, nextPred := 0, 0
+	nr := func() int { r := nextReg; nextReg++; return r }
+	np := func() int { r := nextPred; nextPred++; return r }
+
+	// Prologue: thread coordinates, parameter bases, derived own-slot
+	// addresses. Always emitted in full so register numbering is a pure
+	// function of the op list.
+	rTid, rCta, rNtid := nr(), nr(), nr()
+	b.Op(isa.OpMov, isa.U32, isa.Reg(rTid), isa.SReg(isa.SrTidX))
+	b.Op(isa.OpMov, isa.U32, isa.Reg(rCta), isa.SReg(isa.SrCtaIdX))
+	b.Op(isa.OpMov, isa.U32, isa.Reg(rNtid), isa.SReg(isa.SrNTidX))
+	rGtid := nr()
+	b.Op(isa.OpMad, isa.U32, isa.Reg(rGtid), isa.Reg(rCta), isa.Reg(rNtid), isa.Reg(rTid))
+	bases := make([]int, len(paramNames))
+	for i, name := range paramNames {
+		bases[i] = nr()
+		b.LdParam(isa.Reg(bases[i]), name)
+	}
+	rData := [2]int{bases[0], bases[1]}
+	rCBase, rOut, rScratch := bases[2], bases[3], bases[4]
+	rOutSelf := nr()
+	b.Op(isa.OpMad, isa.U32, isa.Reg(rOutSelf), isa.Reg(rGtid), isa.Imm(OutSlots*4), isa.Reg(rOut))
+	rShSelf := -1
+	if useShared {
+		rShSelf = nr()
+		b.Op(isa.OpShl, isa.U32, isa.Reg(rShSelf), isa.Reg(rTid), isa.Imm(2))
+	}
+
+	regOf := make([]int, len(p.Ops))
+	predOf := make([]int, len(p.Ops))
+	for i := range regOf {
+		regOf[i], predOf[i] = -1, -1
+	}
+
+	// validRef mirrors analyze's reference rule exactly: earlier live op of
+	// the right kind whose scope encloses op i.
+	validRef := func(i, j int, pred bool) bool {
+		if j < 0 || j >= i || infos[j].dead {
+			return false
+		}
+		if pred && !infos[j].pred || !pred && !infos[j].val {
+			return false
+		}
+		return isPrefix(infos[j].path, infos[i].path)
+	}
+	aOpnd := func(i, ref int) isa.Operand {
+		if validRef(i, ref, false) {
+			return isa.Reg(regOf[ref])
+		}
+		return isa.Reg(rGtid)
+	}
+	bOpnd := func(i, ref int, imm uint32) isa.Operand {
+		if validRef(i, ref, false) {
+			return isa.Reg(regOf[ref])
+		}
+		return isa.Imm(int64(imm))
+	}
+	// refTaint reports the effective taint of an A-slot reference (the
+	// fallback gtid is clean).
+	refTaint := func(i, ref int) bool {
+		return validRef(i, ref, false) && infos[ref].taint
+	}
+
+	want := map[int]dataflow.Class{}
+	// emitIndexed lowers a masked, scaled array access:
+	//   t1 = idx & mask; t2 = t1*4 + base; dst = ld.space [t2]
+	emitIndexed := func(space isa.MemSpace, base int, mask uint32, idx isa.Operand) int {
+		t1, t2, dst := nr(), nr(), nr()
+		b.Op(isa.OpAnd, isa.U32, isa.Reg(t1), idx, isa.Imm(int64(mask)))
+		b.Op(isa.OpMad, isa.U32, isa.Reg(t2), isa.Reg(t1), isa.Imm(4), isa.Reg(base))
+		b.Ld(space, isa.U32, isa.Reg(dst), isa.Mem(t2, 0))
+		return dst
+	}
+
+	type open struct {
+		loop *ptx.Loop
+		iff  *ptx.If
+	}
+	var stack []open
+
+	for i, op := range p.Ops {
+		if infos[i].dead {
+			continue
+		}
+		switch op.Kind {
+		case KImm:
+			regOf[i] = nr()
+			b.Op(isa.OpMov, isa.U32, isa.Reg(regOf[i]), isa.Imm(int64(op.Imm)))
+		case KAlu:
+			regOf[i] = nr()
+			b.Op(aluOps[normIdx(op.Alu, len(aluOps))], isa.U32, isa.Reg(regOf[i]),
+				aOpnd(i, op.A), bOpnd(i, op.B, op.Imm))
+		case KSelp:
+			regOf[i] = nr()
+			if validRef(i, op.P, true) {
+				b.Selp(isa.U32, isa.Reg(regOf[i]), aOpnd(i, op.A), bOpnd(i, op.B, op.Imm), predOf[op.P])
+			} else {
+				b.Op(isa.OpAdd, isa.U32, isa.Reg(regOf[i]), aOpnd(i, op.A), bOpnd(i, op.B, op.Imm))
+			}
+		case KGuard:
+			regOf[i] = nr()
+			alu := aluOps[normIdx(op.Alu, len(aluOps))]
+			if validRef(i, op.P, true) {
+				b.Op(isa.OpMov, isa.U32, isa.Reg(regOf[i]), isa.Imm(int64(op.Imm>>1)))
+				b.GuardedOp(predOf[op.P], op.Imm&1 == 1, alu, isa.U32, isa.Reg(regOf[i]),
+					aOpnd(i, op.A), bOpnd(i, op.B, op.Imm))
+			} else {
+				b.Op(alu, isa.U32, isa.Reg(regOf[i]), aOpnd(i, op.A), bOpnd(i, op.B, op.Imm))
+			}
+		case KSetp:
+			predOf[i] = np()
+			b.Setp(cmpOps[normIdx(op.Alu, len(cmpOps))], isa.U32, predOf[i],
+				aOpnd(i, op.A), bOpnd(i, op.B, op.Imm))
+		case KLoadG:
+			cls := dataflow.Deterministic
+			if refTaint(i, op.A) {
+				cls = dataflow.NonDeterministic
+			}
+			regOf[i] = emitIndexed(isa.SpaceGlobal, rData[op.Imm&1], uint32(p.DataWords-1), aOpnd(i, op.A))
+			want[b.Len()-1] = cls
+		case KLoadC:
+			regOf[i] = emitIndexed(isa.SpaceConst, rCBase, ConstWords-1, aOpnd(i, op.A))
+		case KLoadT:
+			regOf[i] = emitIndexed(isa.SpaceTex, rData[op.Imm&1], uint32(p.DataWords-1), aOpnd(i, op.A))
+		case KAtom:
+			addr := isa.Reg(rGtid)
+			if validRef(i, op.A, false) && !infos[op.A].vol {
+				addr = isa.Reg(regOf[op.A])
+			}
+			val := isa.Imm(int64(op.Imm | 1))
+			if validRef(i, op.B, false) && !infos[op.B].vol {
+				val = isa.Reg(regOf[op.B])
+			}
+			t1, t2 := nr(), nr()
+			b.Op(isa.OpAnd, isa.U32, isa.Reg(t1), addr, isa.Imm(ScratchWords-1))
+			b.Op(isa.OpMad, isa.U32, isa.Reg(t2), isa.Reg(t1), isa.Imm(4), isa.Reg(rScratch))
+			regOf[i] = nr()
+			b.Atom(p.AtomOp, isa.U32, isa.Reg(regOf[i]), isa.Mem(t2, 0), val)
+		case KShStore:
+			val := isa.Reg(rGtid)
+			if validRef(i, op.A, false) && !infos[op.A].vol {
+				val = isa.Reg(regOf[op.A])
+			}
+			b.St(isa.SpaceShared, isa.U32, isa.Mem(rShSelf, 0), val)
+		case KBar:
+			b.Bar()
+		case KShLoad:
+			t1, t2 := nr(), nr()
+			b.Op(isa.OpAnd, isa.U32, isa.Reg(t1), aOpnd(i, op.A), isa.Imm(int64(p.BlockX-1)))
+			b.Op(isa.OpShl, isa.U32, isa.Reg(t2), isa.Reg(t1), isa.Imm(2))
+			regOf[i] = nr()
+			b.Ld(isa.SpaceShared, isa.U32, isa.Reg(regOf[i]), isa.Mem(t2, 0))
+		case KStore:
+			val := isa.Reg(rGtid)
+			if validRef(i, op.A, false) && !infos[op.A].vol {
+				val = isa.Reg(regOf[op.A])
+			}
+			b.St(isa.SpaceGlobal, isa.U32, isa.Mem(rOutSelf, int64(op.Imm%OutSlots)*4), val)
+		case KLoop:
+			cnt, pred := nr(), np()
+			stack = append(stack, open{loop: b.BeginLoop(cnt, pred, int64(1+op.Imm%MaxTrip))})
+		case KIf:
+			if validRef(i, op.P, true) && !infos[op.P].vol {
+				stack = append(stack, open{iff: b.BeginIf(predOf[op.P], op.Imm&1 == 1)})
+			} else {
+				stack = append(stack, open{})
+			}
+		case KEnd:
+			if n := len(stack); n > 0 {
+				o := stack[n-1]
+				stack = stack[:n-1]
+				switch {
+				case o.loop != nil:
+					o.loop.End()
+				case o.iff != nil:
+					o.iff.End()
+				}
+			}
+		}
+	}
+	for n := len(stack); n > 0; n = len(stack) {
+		o := stack[n-1]
+		stack = stack[:n-1]
+		switch {
+		case o.loop != nil:
+			o.loop.End()
+		case o.iff != nil:
+			o.iff.End()
+		}
+	}
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("kgen: lower seed %d: %w", p.Seed, err)
+	}
+	if k.NumRegs*p.BlockX > RegisterBudget {
+		return nil, fmt.Errorf("kgen: seed %d: %d regs × %d threads exceeds the register budget",
+			p.Seed, k.NumRegs, p.BlockX)
+	}
+
+	c := &Case{
+		Name:      k.Name,
+		Kernel:    k,
+		Prog:      p,
+		GridX:     p.GridX,
+		BlockX:    p.BlockX,
+		DataWords: p.DataWords,
+		Data0:     seededWords(p.Seed, 0xd0, p.DataWords),
+		Data1:     seededWords(p.Seed, 0xd1, p.DataWords),
+		Const:     seededWords(p.Seed, 0xcc, ConstWords),
+		Want:      want,
+	}
+	return c, nil
+}
+
+// paramNames is the fixed kernel parameter list: two data-array bases, the
+// const-array base, the output base and the atomic scratch base.
+var paramNames = []string{"data0", "data1", "cbase", "out", "scratch"}
+
+// seededWords fills an input array deterministically from the program seed
+// (splitmix64, truncated to 32 bits).
+func seededWords(seed int64, salt uint64, n int) []uint32 {
+	out := make([]uint32, n)
+	x := uint64(seed) ^ (salt * 0x9e3779b97f4a7c15)
+	for i := range out {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		out[i] = uint32(z ^ (z >> 31))
+	}
+	return out
+}

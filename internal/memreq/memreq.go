@@ -79,6 +79,12 @@ type Request struct {
 	Returned     int64 // response delivered back at the SM
 
 	Serviced Level
+
+	// pooled guards against double-Put: it is set while the request sits on
+	// a free list and cleared when Get hands it out again. A double Put
+	// would alias one request under two owners and corrupt timing state in
+	// ways that surface far from the bug, so it panics immediately instead.
+	pooled bool
 }
 
 func (r *Request) String() string {
@@ -122,11 +128,16 @@ func (p *Pool) Get() *Request {
 }
 
 // Put recycles a terminal request. It tolerates nil receivers and nil
-// requests so call sites need no guards.
+// requests so call sites need no guards, but panics on a double Put — a
+// request may only be released by its single terminal owner.
 func (p *Pool) Put(r *Request) {
 	if p == nil || r == nil {
 		return
 	}
+	if r.pooled {
+		panic("memreq: double Put of request " + r.String())
+	}
+	r.pooled = true
 	p.free = append(p.free, r)
 }
 

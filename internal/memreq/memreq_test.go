@@ -53,6 +53,65 @@ func TestNilPoolDegradesToAllocation(t *testing.T) {
 	}
 }
 
+// TestPoolDoublePutPanics pins down the ownership contract: releasing the
+// same request twice would put one object on the free list under two owners,
+// and the resulting state corruption surfaces far from the offending call
+// site. Put must therefore fail fast.
+func TestPoolDoublePutPanics(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	p.Put(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	p.Put(r)
+}
+
+// TestPoolReuseAfterRecycleIsNotDoublePut checks the flip side: once Get
+// hands a recycled request back out, releasing it again is a fresh, legal
+// Put, not a double one.
+func TestPoolReuseAfterRecycleIsNotDoublePut(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	p.Put(r)
+	got := p.Get()
+	if got != r {
+		t.Fatalf("Get did not reuse the recycled request")
+	}
+	p.Put(got) // must not panic: ownership was re-acquired via Get
+	if p.FreeLen() != 1 {
+		t.Fatalf("FreeLen = %d, want 1", p.FreeLen())
+	}
+}
+
+// TestPoolUseAfterPutReadsStayValid documents the deliberate laxness in the
+// contract: Put does not clear the request, so a late *reader* of a terminal
+// request (e.g. a stats sink walking replies at end of cycle) sees intact
+// fields until the pool reuses the object.
+func TestPoolUseAfterPutReadsStayValid(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	r.ID = 7
+	r.Block = 0x80
+	r.Serviced = LvlDRAM
+	p.Put(r)
+	if r.ID != 7 || r.Block != 0x80 || r.Serviced != LvlDRAM {
+		t.Fatalf("reads after Put saw cleared fields: %+v", r)
+	}
+	// ...but after the pool recycles the object, the old handle aliases the
+	// new request and all bets are off — which is exactly why only reads
+	// before reuse are sanctioned.
+	fresh := p.Get()
+	if fresh != r {
+		t.Fatalf("expected the recycled object back")
+	}
+	if r.ID != 0 || r.Serviced != LvlNone {
+		t.Fatalf("recycled request not zeroed through the stale handle: %+v", r)
+	}
+}
+
 func TestRequestString(t *testing.T) {
 	r := &Request{
 		ID: 7, Block: 0x1000, Kind: Load, SM: 3, Partition: 2,

@@ -14,6 +14,7 @@ type Builder struct {
 	k       *Kernel
 	pending []string
 	err     error
+	auto    int // counter for generated structured-control-flow labels
 }
 
 // NewBuilder starts a kernel with the given name.
@@ -149,9 +150,89 @@ func (b *Builder) BraIf(pred int, negate bool, label string) *Builder {
 	return b.emit(in)
 }
 
+// Selp emits a select-by-predicate: dst = pred ? a : bb.
+func (b *Builder) Selp(t isa.DType, dst, a, bb isa.Operand, pred int) *Builder {
+	return b.emit(inst(isa.OpSelp, t, dst, a, bb, isa.PredReg(pred)))
+}
+
+// Cvt emits a type conversion from src type st to dst type t.
+func (b *Builder) Cvt(t, st isa.DType, dst, src isa.Operand) *Builder {
+	in := inst(isa.OpCvt, t, dst, src)
+	in.SrcType = st
+	return b.emit(in)
+}
+
 // Bar emits a bar.sync.
 func (b *Builder) Bar() *Builder {
 	return b.emit(inst(isa.OpBar, isa.U32, isa.Operand{}))
+}
+
+// Len returns the number of instructions emitted so far; the next emitted
+// instruction gets this index. Generators use it to record per-instruction
+// metadata (e.g. expected load classes) while building.
+func (b *Builder) Len() int { return len(b.k.Insts) }
+
+// autoLabel returns a fresh label for structured control flow. The "__"
+// prefix keeps it a valid identifier (the generated kernel text must survive
+// a Disassemble→Parse round trip); colliding user labels are caught by the
+// usual duplicate-label check.
+func (b *Builder) autoLabel(kind string) string {
+	b.auto++
+	return fmt.Sprintf("__%s%d", kind, b.auto)
+}
+
+// Loop is an open counted loop started by BeginLoop; End closes it.
+type Loop struct {
+	b    *Builder
+	head string
+	cnt  int
+	pred int
+	trip int64
+}
+
+// BeginLoop emits the header of a counted loop: counter register cnt is
+// zeroed and the loop head label is placed. The loop body follows; End emits
+// the increment, the trip-count test into predicate register pred, and the
+// backward branch. Trip counts are immediates, so the loop is uniform across
+// lanes and always terminates — exactly the reconverging-CFG shape a kernel
+// generator needs.
+func (b *Builder) BeginLoop(cnt, pred int, trip int64) *Loop {
+	l := &Loop{b: b, head: b.autoLabel("loop"), cnt: cnt, pred: pred, trip: trip}
+	b.Op(isa.OpMov, isa.U32, isa.Reg(cnt), isa.Imm(0))
+	b.Label(l.head)
+	return l
+}
+
+// End closes the loop: cnt++, compare against the trip count, branch back
+// while cnt < trip.
+func (l *Loop) End() *Builder {
+	b := l.b
+	b.Op(isa.OpAdd, isa.U32, isa.Reg(l.cnt), isa.Reg(l.cnt), isa.Imm(1))
+	b.Setp(isa.CmpLT, isa.U32, l.pred, isa.Reg(l.cnt), isa.Imm(l.trip))
+	return b.BraIf(l.pred, false, l.head)
+}
+
+// If is an open guarded block started by BeginIf; End closes it.
+type If struct {
+	b    *Builder
+	skip string
+}
+
+// BeginIf emits a branch that skips the following block when the predicate
+// does NOT hold (i.e. the block executes when pred==true, or pred==false
+// with negate). End places the skip label on the next emitted instruction,
+// so at least one instruction must follow End before Build.
+func (b *Builder) BeginIf(pred int, negate bool) *If {
+	i := &If{b: b, skip: b.autoLabel("endif")}
+	// Branch around the body when the condition fails: the guard on the
+	// branch is the negation of the block condition.
+	b.BraIf(pred, !negate, i.skip)
+	return i
+}
+
+// End closes the guarded block.
+func (i *If) End() *Builder {
+	return i.b.Label(i.skip)
 }
 
 // Exit emits an exit.

@@ -100,3 +100,99 @@ func TestBuilderBarAndAtomics(t *testing.T) {
 		t.Errorf("guard = %+v", g)
 	}
 }
+
+// TestBuilderStructuredLoop checks that BeginLoop/End produce a terminating
+// uniform loop whose disassembly survives a Parse round trip.
+func TestBuilderStructuredLoop(t *testing.T) {
+	b := NewBuilder("looped").Param("out", isa.U32)
+	b.Op(isa.OpMov, isa.U32, isa.Reg(0), isa.Imm(0))
+	l := b.BeginLoop(1, 0, 5)
+	b.Op(isa.OpAdd, isa.U32, isa.Reg(0), isa.Reg(0), isa.Reg(1))
+	l.End()
+	b.LdParam(isa.Reg(2), "out")
+	b.St(isa.SpaceGlobal, isa.U32, isa.Mem(2, 0), isa.Reg(0))
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// The backward branch must target the loop head (the add in the body is
+	// instruction 2: mov 0, mov cnt, body...).
+	var bra *isa.Instruction
+	for _, in := range k.Insts {
+		if in.Op == isa.OpBra {
+			bra = in
+		}
+	}
+	if bra == nil || k.Insts[bra.Targ].Index >= bra.Index {
+		t.Fatalf("loop should end with a backward branch, got %v", bra)
+	}
+	prog, err := Parse(k.Disassemble())
+	if err != nil {
+		t.Fatalf("reparse of generated loop: %v\n%s", err, k.Disassemble())
+	}
+	if prog.Kernels[0].Disassemble() != k.Disassemble() {
+		t.Errorf("loop disassembly not stable under reparse")
+	}
+}
+
+// TestBuilderStructuredIf checks BeginIf/End emit a forward skip branch with
+// the guard negated relative to the block condition.
+func TestBuilderStructuredIf(t *testing.T) {
+	b := NewBuilder("guarded").Param("out", isa.U32)
+	b.Op(isa.OpMov, isa.U32, isa.Reg(0), isa.SReg(isa.SrTidX))
+	b.Setp(isa.CmpLT, isa.U32, 0, isa.Reg(0), isa.Imm(16))
+	i := b.BeginIf(0, false)
+	b.Op(isa.OpAdd, isa.U32, isa.Reg(1), isa.Reg(0), isa.Imm(1))
+	i.End()
+	b.LdParam(isa.Reg(2), "out")
+	b.St(isa.SpaceGlobal, isa.U32, isa.Mem(2, 0), isa.Reg(1))
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var bra *isa.Instruction
+	for _, in := range k.Insts {
+		if in.Op == isa.OpBra {
+			bra = in
+		}
+	}
+	if bra == nil {
+		t.Fatal("no branch emitted for if block")
+	}
+	if !bra.Guard.Active() || !bra.Guard.Negate {
+		t.Errorf("if-skip branch should be guarded on !cond, got %v", bra.Guard)
+	}
+	if bra.Targ <= bra.Index {
+		t.Errorf("if-skip branch must be forward: %d -> %d", bra.Index, bra.Targ)
+	}
+	if _, err := Parse(k.Disassemble()); err != nil {
+		t.Fatalf("reparse of generated if: %v", err)
+	}
+}
+
+// TestBuilderSelpAndCvt covers the remaining typed emitters.
+func TestBuilderSelpAndCvt(t *testing.T) {
+	b := NewBuilder("sc").Param("out", isa.U32)
+	b.Op(isa.OpMov, isa.U32, isa.Reg(0), isa.Imm(3))
+	b.Setp(isa.CmpGT, isa.U32, 0, isa.Reg(0), isa.Imm(1))
+	b.Selp(isa.U32, isa.Reg(1), isa.Reg(0), isa.Imm(7), 0)
+	b.Cvt(isa.F32, isa.S32, isa.Reg(2), isa.Reg(1))
+	b.LdParam(isa.Reg(3), "out")
+	b.St(isa.SpaceGlobal, isa.F32, isa.Mem(3, 0), isa.Reg(2))
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := k.Insts[2].String(); got != "selp.u32 %r1, %r0, 7, %p0" {
+		t.Errorf("selp disassembly = %q", got)
+	}
+	if got := k.Insts[3].String(); got != "cvt.f32.s32 %r2, %r1" {
+		t.Errorf("cvt disassembly = %q", got)
+	}
+	if b.Len() != len(k.Insts) {
+		t.Errorf("Len() = %d, want %d", b.Len(), len(k.Insts))
+	}
+}

@@ -201,6 +201,82 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseDirectiveErrors exercises every malformed-directive path: wrong
+// arity, bad names and types, directives outside a kernel, and unknown
+// directives. The assertions are on the message text, so a reworded or
+// dropped diagnostic fails loudly.
+func TestParseDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"kernel missing name", ".kernel", "usage: .kernel <name>"},
+		{"kernel bad name", ".kernel 9lives", "usage: .kernel <name>"},
+		{"kernel extra field", ".kernel a b", "usage: .kernel <name>"},
+		{"param outside kernel", ".param .u32 n", ".param outside kernel"},
+		{"param missing name", ".kernel k\n.param .u32\n exit;", "usage: .param .<type> <name>"},
+		{"param bad type", ".kernel k\n.param .q13 n\n exit;", "bad param type"},
+		{"param bad name", ".kernel k\n.param .u32 7up\n exit;", "bad param name"},
+		{"shared outside kernel", ".shared 128", ".shared outside kernel"},
+		{"shared missing size", ".kernel k\n.shared\n exit;", "usage: .shared <bytes>"},
+		{"shared non-numeric size", ".kernel k\n.shared lots\n exit;", "bad shared size"},
+		{"shared negative size", ".kernel k\n.shared -16\n exit;", "bad shared size"},
+		{"unknown directive", ".frobnicate 3", "unknown directive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestParseTruncatedAndOperandErrors covers truncated kernel bodies (dangling
+// labels, bare guards) and the operand-level diagnostics: modifier overflow,
+// malformed immediates and offsets, and address-shape requirements for
+// st/atom/ld.
+func TestParseTruncatedAndOperandErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"label at end of kernel", ".kernel k\n exit;\nTAIL:", "without instruction"},
+		{"label at end before next kernel", ".kernel k\n exit;\nTAIL:\n.kernel j\n exit;", "without instruction"},
+		{"guard without instruction", ".kernel k\n@%p0;\n exit;", "guard without instruction"},
+		{"bad guard register", ".kernel k\n@%r0 add.u32 %r0, %r1, %r2; exit;", "bad guard"},
+		{"too many modifiers", ".kernel k\n add.u32.u32.u32 %r0, %r1, %r2; exit;", "too many modifiers"},
+		{"two types on non-cvt", ".kernel k\n add.u32.s32 %r0, %r1, %r2; exit;", "too many type modifiers"},
+		{"unknown type modifier", ".kernel k\n add.q96 %r0, %r1, %r2; exit;", "unknown type"},
+		{"bad cvt types", ".kernel k\n cvt.q1.q2 %r0, %r1; exit;", "bad cvt types"},
+		{"unknown comparison", ".kernel k\n setp.zz.u32 %p0, %r1, %r2; exit;", "unknown comparison"},
+		{"empty operand", ".kernel k\n add.u32 %r0, , %r2; exit;", "empty operand"},
+		{"unbalanced close bracket", ".kernel k\n add.u32 %r0, %r1], %r2; exit;", "unbalanced ']'"},
+		{"bad float immediate", ".kernel k\n mov.f32 %r0, 1.2.3; exit;", "bad float immediate"},
+		{"bad integer immediate", ".kernel k\n mov.u32 %r0, 12abc; exit;", "bad immediate"},
+		{"unknown register", ".kernel k\n add.u32 %r0, %zz9, %r2; exit;", "unknown register"},
+		{"bad offset", ".kernel k\n ld.global.u32 %r0, [%r1+zz]; exit;", "bad offset in"},
+		{"bad base register", ".kernel k\n ld.global.u32 %r0, [%rq]; exit;", "bad base register"},
+		{"st without address", ".kernel k\n st.global.u32 %r0, %r1; exit;", "st expects [addr] first"},
+		{"atom without address", ".kernel k\n atom.global.add.u32 %r0, %r1, %r2; exit;", "atom expects [addr]"},
+		{"ld without memory operand", ".kernel k\n ld.global.u32 %r0, %r1; exit;", "ld expects a memory operand"},
+		{"ld.param non-param operand", ".kernel k\n.param .u32 n\n ld.param.u32 %r0, [%r1]; exit;", "ld.param expects [name]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
 func TestDisassembleRoundTrip(t *testing.T) {
 	k := parseBFS(t)
 	text := k.Disassemble()

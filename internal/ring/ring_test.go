@@ -73,6 +73,116 @@ func TestPopReleasesReferences(t *testing.T) {
 	}
 }
 
+// TestWraparoundAtCapacityBoundary drives the queue through the exact
+// boundary where the tail index wraps past the end of the backing array
+// while the buffer is at full capacity, without triggering growth: after the
+// first 8 pushes Cap is 8, and popping then refilling must reuse the same
+// array with correct FIFO order.
+func TestWraparoundAtCapacityBoundary(t *testing.T) {
+	var b Buffer[int]
+	for i := 0; i < 8; i++ {
+		b.Push(i)
+	}
+	if b.Cap() != 8 {
+		t.Fatalf("Cap = %d after 8 pushes, want 8", b.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		if got := b.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	// head is now at index 5; these pushes wrap the tail to indexes 5+3..7,0,1.
+	for i := 8; i < 13; i++ {
+		b.Push(i)
+	}
+	if b.Cap() != 8 {
+		t.Fatalf("Cap = %d after wrapped refill, want 8 (no growth at boundary)", b.Cap())
+	}
+	if b.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", b.Len())
+	}
+	for i := 5; i < 13; i++ {
+		if got := b.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+}
+
+// TestGrowLinearizesWrappedContent forces growth at the moment the content
+// is split across the wrap point: grow must copy the two halves back into
+// FIFO order, not memcpy the raw array.
+func TestGrowLinearizesWrappedContent(t *testing.T) {
+	var b Buffer[int]
+	for i := 0; i < 8; i++ {
+		b.Push(i)
+	}
+	for i := 0; i < 6; i++ {
+		b.Pop()
+	}
+	for i := 8; i < 14; i++ {
+		b.Push(i) // content now wraps: indexes 6,7 then 0..3
+	}
+	b.Push(14) // 8th element: buffer full again
+	b.Push(15) // forces grow with wrapped content
+	if b.Cap() != 16 {
+		t.Fatalf("Cap = %d after growth, want 16", b.Cap())
+	}
+	for i := 6; i < 16; i++ {
+		if got := b.Pop(); got != i {
+			t.Fatalf("Pop = %d after growth, want %d", got, i)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", b.Len())
+	}
+}
+
+// TestAtAcrossWrap reads every element through At while the content spans
+// the wrap point, where a naive head+i (without masking) would run off the
+// end of the backing array.
+func TestAtAcrossWrap(t *testing.T) {
+	var b Buffer[int]
+	for i := 0; i < 8; i++ {
+		b.Push(i)
+	}
+	for i := 0; i < 7; i++ {
+		b.Pop()
+	}
+	for i := 8; i < 15; i++ {
+		b.Push(i)
+	}
+	for i := 0; i < b.Len(); i++ {
+		if got := b.At(i); got != 7+i {
+			t.Errorf("At(%d) = %d, want %d", i, got, 7+i)
+		}
+	}
+}
+
+func TestPeekEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Peek on empty buffer did not panic")
+		}
+	}()
+	var b Buffer[int]
+	b.Peek()
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	var b Buffer[int]
+	b.Push(1)
+	for _, i := range []int{-1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			b.At(i)
+		}()
+	}
+}
+
 func TestEmptyPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

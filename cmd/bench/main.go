@@ -1,16 +1,21 @@
 // Command bench regenerates BENCH_sim.json, the tracked simulator
 // performance baseline: for every baseline case it runs the timing model
-// under both cycle engines — event-horizon fast-forwarding and the naive
-// serial loop — and records wall time, simulated cycles per second, warp
-// instructions per second and heap traffic. It refuses to write a baseline
-// in which the two engines disagree on the simulated cycle count, so the
-// numbers are always for byte-identical simulations.
+// under all three cycle engines — event-horizon fast-forwarding, the naive
+// serial loop, and the phase-barrier parallel engine — and records wall time,
+// simulated cycles per second, warp instructions per second and heap traffic.
+// It refuses to write a baseline in which the engines disagree on the
+// simulated work, printing the exact diverging statistics, so the numbers are
+// always for byte-identical simulations.
 //
 // Usage:
 //
 //	bench                    # write BENCH_sim.json in the working directory
 //	bench -o /tmp/b.json     # write elsewhere
 //	bench -runs 5            # best-of-5 wall times per engine
+//	bench -workers 8         # worker count for the parallel engine rows
+//	bench -check             # compare against the committed baseline instead
+//	                         # of writing: exit 1 if any engine's geomean
+//	                         # cycles/sec regressed more than -check-tolerance
 package main
 
 import (
@@ -22,41 +27,48 @@ import (
 	"runtime"
 
 	"critload/internal/experiments"
+	"critload/internal/gpu"
 )
 
 type caseResult struct {
 	Workload    string `json:"workload"`
 	Size        int    `json:"size"`
 	MemoryBound bool   `json:"memory_bound"`
-	// Simulated work, identical for both engines by construction.
+	// Simulated work, identical for all engines by construction.
 	Cycles      int64                         `json:"cycles"`
 	WarpInsts   uint64                        `json:"warp_insts"`
 	FastForward experiments.EngineMeasurement `json:"fastforward"`
 	Naive       experiments.EngineMeasurement `json:"naive"`
-	SpeedupX    float64                       `json:"speedup_x"`
+	Parallel    experiments.EngineMeasurement `json:"parallel"`
+	// SpeedupX is fast-forward over naive; ParallelSpeedupX is the parallel
+	// engine (fast-forward composed in) over plain fast-forward.
+	SpeedupX         float64 `json:"speedup_x"`
+	ParallelSpeedupX float64 `json:"parallel_speedup_x"`
 }
 
 type summary struct {
 	GeomeanSpeedupX            float64 `json:"geomean_speedup_x"`
 	MemoryBoundGeomeanSpeedupX float64 `json:"memory_bound_geomean_speedup_x"`
+	GeomeanParallelSpeedupX    float64 `json:"geomean_parallel_speedup_x"`
 	MaxMallocsPerKCycleFF      float64 `json:"max_mallocs_per_kcycle_fastforward"`
 }
 
 type baseline struct {
-	Schema    string       `json:"schema"`
-	GoVersion string       `json:"go_version"`
-	Seed      int64        `json:"seed"`
-	Runs      int          `json:"runs"`
-	Workloads []caseResult `json:"workloads"`
-	Summary   summary      `json:"summary"`
+	Schema          string       `json:"schema"`
+	GoVersion       string       `json:"go_version"`
+	Seed            int64        `json:"seed"`
+	Runs            int          `json:"runs"`
+	ParallelWorkers int          `json:"parallel_workers"`
+	Workloads       []caseResult `json:"workloads"`
+	Summary         summary      `json:"summary"`
 }
 
 // measureBest takes the best (minimum-wall-time) of n independent runs; heap
 // counters come from the same best run so the row is self-consistent.
-func measureBest(c experiments.BenchCase, seed int64, ff bool, n int) (experiments.EngineMeasurement, error) {
+func measureBest(n int, measure func() (experiments.EngineMeasurement, error)) (experiments.EngineMeasurement, error) {
 	var best experiments.EngineMeasurement
 	for i := 0; i < n; i++ {
-		m, err := experiments.MeasureEngine(c, seed, ff)
+		m, err := measure()
 		if err != nil {
 			return best, err
 		}
@@ -78,36 +90,89 @@ func geomean(xs []float64) float64 {
 	return math.Exp(logSum / float64(len(xs)))
 }
 
-func run(out string, seed int64, runs int) error {
-	b := baseline{
-		Schema:    "critload/bench_sim/v1",
-		GoVersion: runtime.Version(),
-		Seed:      seed,
-		Runs:      runs,
+// describeDivergence re-runs the engines once through the experiments layer
+// so a refused baseline names the exact diverging statistics instead of a
+// bare cycle count. Errors from the reruns are folded into the report.
+func describeDivergence(c experiments.BenchCase, seed int64, workers int) string {
+	serialCfg := gpu.DefaultConfig()
+	serialCfg.FastForward = false
+	ffCfg := gpu.DefaultConfig()
+	parCfg := gpu.DefaultConfig()
+	parCfg.Parallel = true
+	parCfg.Workers = workers
+
+	labels := []string{"naive", "fastforward", "parallel"}
+	runs := make([]*experiments.Run, 0, 3)
+	for i, cfg := range []gpu.Config{serialCfg, ffCfg, parCfg} {
+		cfg := cfg
+		r, err := experiments.RunTiming(c.Name, experiments.Options{Size: c.Size, Seed: seed, GPU: &cfg})
+		if err != nil {
+			return fmt.Sprintf("  %s rerun failed: %v", labels[i], err)
+		}
+		runs = append(runs, r)
 	}
-	var all, memBound []float64
+	out := ""
+	for _, d := range experiments.DiffEngineRuns(labels, runs) {
+		out += "  " + d + "\n"
+	}
+	if out == "" {
+		out = "  (divergence did not reproduce on rerun)\n"
+	}
+	return out + "  naive:       " + experiments.DescribeRun(runs[0]) +
+		"\n  fastforward: " + experiments.DescribeRun(runs[1]) +
+		"\n  parallel:    " + experiments.DescribeRun(runs[2])
+}
+
+// measureAll produces the full baseline in memory; shared by the write and
+// -check paths.
+func measureAll(seed int64, runs, workers int) (baseline, error) {
+	b := baseline{
+		Schema:          "critload/bench_sim/v2",
+		GoVersion:       runtime.Version(),
+		Seed:            seed,
+		Runs:            runs,
+		ParallelWorkers: workers,
+	}
+	var all, memBound, parAll []float64
 	for _, c := range experiments.BenchCases() {
-		ff, err := measureBest(c, seed, true, runs)
+		c := c
+		ff, err := measureBest(runs, func() (experiments.EngineMeasurement, error) {
+			return experiments.MeasureEngine(c, seed, true)
+		})
 		if err != nil {
-			return err
+			return b, err
 		}
-		naive, err := measureBest(c, seed, false, runs)
+		naive, err := measureBest(runs, func() (experiments.EngineMeasurement, error) {
+			return experiments.MeasureEngine(c, seed, false)
+		})
 		if err != nil {
-			return err
+			return b, err
 		}
-		if ff.Cycles != naive.Cycles || ff.WarpInsts != naive.WarpInsts {
-			return fmt.Errorf("%s: engines diverge (fastforward %d cycles / %d insts, naive %d / %d); baseline not written",
-				c.Name, ff.Cycles, ff.WarpInsts, naive.Cycles, naive.WarpInsts)
+		par, err := measureBest(runs, func() (experiments.EngineMeasurement, error) {
+			return experiments.MeasureParallel(c, seed, workers)
+		})
+		if err != nil {
+			return b, err
+		}
+		if ff.Cycles != naive.Cycles || ff.WarpInsts != naive.WarpInsts ||
+			par.Cycles != naive.Cycles || par.WarpInsts != naive.WarpInsts {
+			return b, fmt.Errorf("%s/%d: engines diverge (naive %d cycles / %d insts, fastforward %d / %d, parallel %d / %d); baseline not written\n%s",
+				c.Name, c.Size, naive.Cycles, naive.WarpInsts, ff.Cycles, ff.WarpInsts,
+				par.Cycles, par.WarpInsts, describeDivergence(c, seed, workers))
 		}
 		r := caseResult{
 			Workload: c.Name, Size: c.Size, MemoryBound: c.MemoryBound,
 			Cycles: ff.Cycles, WarpInsts: ff.WarpInsts,
-			FastForward: ff, Naive: naive,
+			FastForward: ff, Naive: naive, Parallel: par,
 		}
 		if ff.WallSeconds > 0 {
 			r.SpeedupX = naive.WallSeconds / ff.WallSeconds
 		}
+		if par.WallSeconds > 0 {
+			r.ParallelSpeedupX = ff.WallSeconds / par.WallSeconds
+		}
 		all = append(all, r.SpeedupX)
+		parAll = append(parAll, r.ParallelSpeedupX)
 		if c.MemoryBound {
 			memBound = append(memBound, r.SpeedupX)
 		}
@@ -115,13 +180,83 @@ func run(out string, seed int64, runs int) error {
 			b.Summary.MaxMallocsPerKCycleFF = r.FastForward.MallocsPerKCycle
 		}
 		b.Workloads = append(b.Workloads, r)
-		fmt.Fprintf(os.Stderr, "bench: %-5s %9d cycles (%4.1f%% skipped)  ff %6.2f Mcyc/s  naive %6.2f Mcyc/s  speedup %.2fx\n",
+		fmt.Fprintf(os.Stderr, "bench: %-5s %9d cycles (%4.1f%% skipped)  ff %6.2f Mcyc/s  naive %6.2f Mcyc/s  par/%dw %6.2f Mcyc/s  speedup %.2fx  par %.2fx\n",
 			c.Name, r.Cycles, 100*float64(ff.SkippedCycles)/float64(r.Cycles),
-			ff.CyclesPerSec/1e6, naive.CyclesPerSec/1e6, r.SpeedupX)
+			ff.CyclesPerSec/1e6, naive.CyclesPerSec/1e6, workers, par.CyclesPerSec/1e6,
+			r.SpeedupX, r.ParallelSpeedupX)
 	}
 	b.Summary.GeomeanSpeedupX = geomean(all)
 	b.Summary.MemoryBoundGeomeanSpeedupX = geomean(memBound)
+	b.Summary.GeomeanParallelSpeedupX = geomean(parAll)
+	return b, nil
+}
 
+// engineGeomeans reduces a baseline to one throughput number per engine: the
+// geomean of cycles-per-second across all cases.
+func engineGeomeans(b baseline) map[string]float64 {
+	per := map[string][]float64{}
+	for _, r := range b.Workloads {
+		for name, m := range map[string]experiments.EngineMeasurement{
+			"fastforward": r.FastForward, "naive": r.Naive, "parallel": r.Parallel,
+		} {
+			if m.CyclesPerSec > 0 {
+				per[name] = append(per[name], m.CyclesPerSec)
+			}
+		}
+	}
+	out := map[string]float64{}
+	for name, xs := range per {
+		out[name] = geomean(xs)
+	}
+	return out
+}
+
+// check measures afresh and fails if any engine's geomean cycles/sec fell
+// more than tolerance below the committed baseline. Engines absent from the
+// committed file (older schemas) are skipped, so -check works across schema
+// bumps without a flag day.
+func check(path string, seed int64, runs, workers int, tolerance float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading committed baseline: %w", err)
+	}
+	var committed baseline
+	if err := json.Unmarshal(buf, &committed); err != nil {
+		return fmt.Errorf("parsing committed baseline %s: %w", path, err)
+	}
+	fresh, err := measureAll(seed, runs, workers)
+	if err != nil {
+		return err
+	}
+	want, got := engineGeomeans(committed), engineGeomeans(fresh)
+	failed := false
+	for _, name := range []string{"naive", "fastforward", "parallel"} {
+		w, ok := want[name]
+		if !ok || w <= 0 {
+			fmt.Fprintf(os.Stderr, "bench-check: %-11s no committed measurement, skipped\n", name)
+			continue
+		}
+		g := got[name]
+		ratio := g / w
+		status := "ok"
+		if ratio < 1-tolerance {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "bench-check: %-11s committed %8.2f Mcyc/s, now %8.2f Mcyc/s (%+.1f%%) %s\n",
+			name, w/1e6, g/1e6, 100*(ratio-1), status)
+	}
+	if failed {
+		return fmt.Errorf("throughput regressed more than %.0f%% vs %s", 100*tolerance, path)
+	}
+	return nil
+}
+
+func run(out string, seed int64, runs, workers int) error {
+	b, err := measureAll(seed, runs, workers)
+	if err != nil {
+		return err
+	}
 	buf, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
@@ -130,11 +265,20 @@ func run(out string, seed int64, runs int) error {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_sim.json", "output path for the baseline")
+	out := flag.String("o", "BENCH_sim.json", "output path for the baseline (or the committed baseline with -check)")
 	seed := flag.Int64("seed", 1, "input generation seed")
 	runs := flag.Int("runs", 3, "independent runs per engine; best wall time is kept")
+	workers := flag.Int("workers", 4, "worker count for the parallel-engine rows")
+	doCheck := flag.Bool("check", false, "compare against the committed baseline instead of writing")
+	tolerance := flag.Float64("check-tolerance", 0.25, "allowed fractional geomean cycles/sec regression under -check")
 	flag.Parse()
-	if err := run(*out, *seed, *runs); err != nil {
+	var err error
+	if *doCheck {
+		err = check(*out, *seed, *runs, *workers, *tolerance)
+	} else {
+		err = run(*out, *seed, *runs, *workers)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

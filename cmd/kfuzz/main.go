@@ -1,5 +1,5 @@
 // Command kfuzz runs long offline differential-fuzzing campaigns over
-// generated PTX kernels: every seed flows through the three difftest oracles
+// generated PTX kernels: every seed flows through the four difftest oracles
 // (classification, functional, timing), and any divergence is shrunk to a
 // minimal reproducing kernel and written out as a replayable case.
 //

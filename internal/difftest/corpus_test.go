@@ -9,7 +9,7 @@ import (
 	"critload/internal/kgen"
 )
 
-// replayDir runs every committed case under dir through the three oracles.
+// replayDir runs every committed case under dir through the four oracles.
 // Returns how many cases ran and the class totals.
 func replayDir(t *testing.T, dir string) (n, det, nondet int) {
 	t.Helper()

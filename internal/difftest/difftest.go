@@ -1,17 +1,20 @@
 // Package difftest is the differential-testing harness over generated
-// kernels (internal/kgen). Every case runs through three independent
+// kernels (internal/kgen). Every case runs through four independent
 // oracles:
 //
 //  1. classification — dataflow.Classify must reproduce the generator's
 //     ground-truth D/N label for every global load;
 //  2. functional — the emulator must produce identical final memory across
-//     repeated runs, and both timing engines must leave memory in the same
+//     repeated runs, and all timing engines must leave memory in the same
 //     state the emulator does;
 //  3. timing — the fast-forward and serial cycle engines must produce
 //     byte-identical statistics collectors and cycle counts (the PR 3
-//     comparator, via experiments.DiffRuns).
+//     comparator, via experiments.DiffRuns);
+//  4. parallel — the phase-barrier parallel engine must match engine A the
+//     same way, so every fuzzed kernel also exercises the concurrent cycle
+//     loop.
 //
-// A clean Check means all three agree; any Divergence is a bug in exactly
+// A clean Check means all four agree; any Divergence is a bug in exactly
 // one of the generator, the classifier, the emulator, or a cycle engine —
 // which is the point.
 package difftest
@@ -40,6 +43,11 @@ type Options struct {
 	// GPUA and GPUB build the two timing configurations to compare.
 	// Defaults: A = serial loop, B = fast-forward, both Table II.
 	GPUA, GPUB func() gpu.Config
+	// GPUP builds the parallel-engine configuration for the fourth oracle.
+	// Default: fast-forward + Parallel at 4 workers. SkipParallel drops the
+	// oracle entirely (for callers that only study the serial engines).
+	GPUP         func() gpu.Config
+	SkipParallel bool
 	// MaxCycles overrides DefaultMaxCycles (0 = default).
 	MaxCycles int64
 	// MaxWarpInsts overrides DefaultMaxWarpInsts for emulator runs.
@@ -62,6 +70,16 @@ func (o Options) gpuB() gpu.Config {
 	return gpu.DefaultConfig()
 }
 
+func (o Options) gpuP() gpu.Config {
+	if o.GPUP != nil {
+		return o.GPUP()
+	}
+	cfg := gpu.DefaultConfig()
+	cfg.Parallel = true
+	cfg.Workers = 4
+	return cfg
+}
+
 func (o Options) maxCycles() int64 {
 	if o.MaxCycles > 0 {
 		return o.MaxCycles
@@ -78,7 +96,7 @@ func (o Options) maxWarpInsts() uint64 {
 
 // Divergence is one oracle disagreement.
 type Divergence struct {
-	Oracle string // "classify", "functional" or "timing"
+	Oracle string // "classify", "functional", "timing" or "parallel"
 	Detail string
 }
 
@@ -99,7 +117,7 @@ func (r *Report) add(oracle, format string, args ...any) {
 	r.Divergences = append(r.Divergences, Divergence{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Check runs a case through all three oracles.
+// Check runs a case through all four oracles.
 func Check(c *kgen.Case, opts Options) *Report {
 	rep := &Report{Case: c}
 	for _, cls := range c.Want {
@@ -176,6 +194,24 @@ func Check(c *kgen.Case, opts Options) *Report {
 	}
 	if d := diffSnapshots(snapRef, snapB); d != "" {
 		rep.add("functional", "engine B memory differs from emulator: %s", d)
+	}
+
+	// Oracle 4: the parallel phase-barrier engine against engine A, plus its
+	// final memory against the emulator.
+	if !opts.SkipParallel {
+		runP, snapP, errP := runTiming(c, opts.gpuP(), opts.maxCycles())
+		if errP != nil {
+			// Engine A succeeded (errors returned above), so any parallel
+			// failure is a divergence on its own.
+			rep.add("parallel", "parallel engine failed where A succeeded: %v", errP)
+			return rep
+		}
+		for _, d := range experiments.DiffRuns(runA, runP) {
+			rep.add("parallel", "%s", d)
+		}
+		if d := diffSnapshots(snapRef, snapP); d != "" {
+			rep.add("parallel", "parallel engine memory differs from emulator: %s", d)
+		}
 	}
 	return rep
 }

@@ -7,7 +7,7 @@ import (
 )
 
 // TestHundredKernelSweep is the headline acceptance check: one hundred
-// seeded kernels through all three oracles, zero divergences, and — asserted
+// seeded kernels through all four oracles, zero divergences, and — asserted
 // per kernel, not assumed — ground truth covering both load classes.
 func TestHundredKernelSweep(t *testing.T) {
 	if testing.Short() {

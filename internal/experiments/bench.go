@@ -64,6 +64,21 @@ type EngineMeasurement struct {
 func MeasureEngine(c BenchCase, seed int64, fastForward bool) (EngineMeasurement, error) {
 	cfg := gpu.DefaultConfig()
 	cfg.FastForward = fastForward
+	return MeasureEngineConfig(c, seed, cfg)
+}
+
+// MeasureParallel measures the parallel phase-barrier engine (composed with
+// fast-forward, its production configuration) at the given worker count.
+func MeasureParallel(c BenchCase, seed int64, workers int) (EngineMeasurement, error) {
+	cfg := gpu.DefaultConfig()
+	cfg.Parallel = true
+	cfg.Workers = workers
+	return MeasureEngineConfig(c, seed, cfg)
+}
+
+// MeasureEngineConfig is the engine-agnostic measurement core: it runs one
+// baseline case under an arbitrary device configuration.
+func MeasureEngineConfig(c BenchCase, seed int64, cfg gpu.Config) (EngineMeasurement, error) {
 	opts := Options{Size: c.Size, Seed: seed, GPU: &cfg}
 
 	w, ok := workloads.Get(c.Name)
@@ -83,7 +98,8 @@ func MeasureEngine(c BenchCase, seed int64, fastForward bool) (EngineMeasurement
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
 	if err != nil {
-		return EngineMeasurement{}, fmt.Errorf("bench %s (fastforward=%v): %w", c.Name, fastForward, err)
+		return EngineMeasurement{}, fmt.Errorf("bench %s (fastforward=%v parallel=%v): %w",
+			c.Name, cfg.FastForward, cfg.Parallel, err)
 	}
 
 	m := EngineMeasurement{

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"critload/internal/gpu"
+)
+
+// parallelCfg builds a parallel-engine configuration; fast-forward stays on
+// (the production composition: skip dead cycles, parallelize live ones).
+func parallelCfg(workers int) gpu.Config {
+	cfg := gpu.DefaultConfig()
+	cfg.Parallel = true
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestParallelEngineMatchesSerial is the parallel engine's core contract:
+// for every workload and every worker count, the phase-barrier engine must
+// produce a byte-identical statistics collector and the same cycle count as
+// the naive serial loop. Run under -race this doubles as the data-race proof
+// for the concurrent phases.
+func TestParallelEngineMatchesSerial(t *testing.T) {
+	for name, size := range timingSmokeSizes {
+		name, size := name, size
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serialCfg := gpu.DefaultConfig()
+			serialCfg.FastForward = false
+			serial, err := RunTiming(name, Options{Size: size, Seed: 7, GPU: &serialCfg})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				cfg := parallelCfg(workers)
+				par, err := RunTiming(name, Options{Size: size, Seed: 7, GPU: &cfg})
+				if err != nil {
+					t.Fatalf("parallel run (workers=%d): %v", workers, err)
+				}
+				for _, d := range DiffEngineRuns(
+					[]string{"serial", fmt.Sprintf("parallel/%dw", workers)},
+					[]*Run{serial, par}) {
+					t.Errorf("%s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEngineWithoutFastForward isolates the phase-barrier machinery
+// from event-horizon skipping: with FastForward off, every cycle is stepped
+// and the engines must still agree, so a divergence here cannot hide behind
+// the skip logic.
+func TestParallelEngineWithoutFastForward(t *testing.T) {
+	for _, name := range []string{"2mm", "bfs", "sssp"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serialCfg := gpu.DefaultConfig()
+			serialCfg.FastForward = false
+			serial, err := RunTiming(name, Options{Size: timingSmokeSizes[name], Seed: 3, GPU: &serialCfg})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			cfg := parallelCfg(4)
+			cfg.FastForward = false
+			par, err := RunTiming(name, Options{Size: timingSmokeSizes[name], Seed: 3, GPU: &cfg})
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			for _, d := range DiffEngineRuns([]string{"serial", "parallel-noff"}, []*Run{serial, par}) {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
+// TestParallelEngineRunTwiceIdentity re-runs the parallel engine and demands
+// identical collectors: no dependence on goroutine scheduling, worker
+// interleaving, or map iteration survives the phase barriers.
+func TestParallelEngineRunTwiceIdentity(t *testing.T) {
+	for _, name := range []string{"spmv", "sssp"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := parallelCfg(4)
+			opts := Options{Size: timingSmokeSizes[name], Seed: 11, GPU: &cfg}
+			first, err := RunTiming(name, opts)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := RunTiming(name, opts)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			for _, d := range DiffRuns(first, second) {
+				t.Errorf("repeat run: %s", d)
+			}
+		})
+	}
+}
+
+// TestParallelEngineBudgetWindow pins the bounded-window behaviour: the
+// warp-instruction hard stop must freeze the statistics at the same cycle
+// under both engines, since the budget check reads live shard collectors in
+// the parallel engine.
+func TestParallelEngineBudgetWindow(t *testing.T) {
+	serialCfg := gpu.DefaultConfig()
+	serialCfg.FastForward = false
+	opts := Options{Size: timingSmokeSizes["bfs"], Seed: 7, MaxWarpInsts: 5000}
+	optsSerial := opts
+	optsSerial.GPU = &serialCfg
+	serial, err := RunTiming("bfs", optsSerial)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	cfg := parallelCfg(4)
+	optsPar := opts
+	optsPar.GPU = &cfg
+	par, err := RunTiming("bfs", optsPar)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	for _, d := range DiffEngineRuns([]string{"serial", "parallel"}, []*Run{serial, par}) {
+		t.Errorf("%s", d)
+	}
+	if par.Col.WarpInsts < 5000 {
+		t.Fatalf("budget window did not fill: %d warp insts", par.Col.WarpInsts)
+	}
+}

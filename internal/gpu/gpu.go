@@ -70,6 +70,18 @@ type Config struct {
 	// disabling it keeps the naive loop as a differential-testing oracle.
 	// DefaultConfig enables it.
 	FastForward bool
+	// Parallel selects the phase-barrier parallel cycle engine: within each
+	// simulated cycle, the SM memory pipelines and the memory partitions step
+	// concurrently on a persistent worker pool, with interconnect injection
+	// and all functional execution merged on serial phases so every artifact
+	// stays byte-identical to the serial loop (see docs/PERFORMANCE.md). It
+	// composes with FastForward: dead cycles are skipped, live ones are
+	// parallelized.
+	Parallel bool
+	// Workers sizes the parallel engine's worker pool (0 = GOMAXPROCS,
+	// capped at the SM count). Ignored unless Parallel is set; any value
+	// produces identical results, by the engine's determinism contract.
+	Workers int
 }
 
 // DefaultConfig returns the Tesla C2050 configuration of Table II: 14 SMs,
@@ -108,6 +120,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gpu: %d L2 clusters do not divide %d partitions",
 			c.L2Clusters, c.NumPartitions)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("gpu: negative worker count %d", c.Workers)
+	}
 	return c.DRAM.Validate()
 }
 
@@ -135,9 +150,24 @@ type GPU struct {
 	reqNet   *icnt.Network
 	replyNet *icnt.Network
 
-	// pool recycles memory requests across SMs and partitions; see
-	// memreq.Pool for the ownership rules.
-	pool memreq.Pool
+	// pools recycles memory requests, one free list per SM so the parallel
+	// engine's concurrent SM phase never contends on a shared list; requests
+	// released downstream (write-through stores at the DRAM channel) are
+	// routed back to the originating SM's pool. See memreq.Pool for the
+	// ownership rules.
+	pools []*memreq.Pool
+
+	// Shard collectors, allocated only for the parallel engine: each SM and
+	// each partition records into its own shard during the concurrent phases,
+	// and mergeShards folds them into Col at every launch boundary. Nil under
+	// the serial engines, whose components write Col directly.
+	smCols   []*stats.Collector
+	partCols []*stats.Collector
+
+	// traced notes whether a Tracer is installed: trace order is globally
+	// meaningful, so the parallel engine then steps SM memory pipelines
+	// serially instead of concurrently.
+	traced bool
 
 	cycle int64
 
@@ -182,16 +212,27 @@ func New(cfg Config, memory *mem.Memory, col *stats.Collector) (*GPU, error) {
 
 	lat := cfg.latencyModel()
 	for i := 0; i < cfg.NumSMs; i++ {
-		s, err := sm.New(i, cfg.SM, lat, (*backend)(g), col)
+		smCol := col
+		if cfg.Parallel {
+			smCol = stats.New()
+			g.smCols = append(g.smCols, smCol)
+		}
+		s, err := sm.New(i, cfg.SM, lat, (*backend)(g), smCol)
 		if err != nil {
 			return nil, err
 		}
-		s.SetPool(&g.pool)
+		g.pools = append(g.pools, &memreq.Pool{})
+		s.SetPool(g.pools[i])
 		s.SetFastForward(cfg.FastForward)
 		g.sms = append(g.sms, s)
 	}
 	for i := 0; i < cfg.NumPartitions; i++ {
-		g.parts = append(g.parts, newPartition(i, g))
+		partCol := col
+		if cfg.Parallel {
+			partCol = stats.New()
+			g.partCols = append(g.partCols, partCol)
+		}
+		g.parts = append(g.parts, newPartition(i, g, partCol))
 	}
 	return g, nil
 }
@@ -209,7 +250,11 @@ func MustNew(cfg Config, memory *mem.Memory, col *stats.Collector) *GPU {
 func (g *GPU) Cycle() int64 { return g.cycle }
 
 // SetTracer installs a per-request trace sink on every SM (nil disables).
+// Trace entries appear in completion order, which is globally meaningful, so
+// the parallel engine steps the SM memory pipelines serially while a tracer
+// is installed; the trace and every statistic stay identical to a serial run.
 func (g *GPU) SetTracer(t sm.Tracer) {
+	g.traced = t != nil
 	for _, s := range g.sms {
 		s.SetTracer(t)
 	}
@@ -291,6 +336,9 @@ func (g *GPU) LaunchKernel(l *emu.Launch) error {
 		return nil // budget already exhausted by earlier launches
 	}
 	g.stopIssue = false
+	if g.cfg.Parallel {
+		return g.launchParallel(l)
+	}
 
 	for {
 		// Reply path first so fills release resources before new accesses.

@@ -1,0 +1,226 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"critload/internal/emu"
+)
+
+// This file is the parallel cycle engine (Config.Parallel): the serial
+// loop's per-cycle body restructured into barrier phases over a persistent
+// worker pool, so independent components step concurrently *inside* each
+// simulated cycle while every artifact stays byte-identical to the serial
+// loop. The phase structure mirrors the serial order exactly:
+//
+//	1. reply network delivery            — serial (mutates SMs)
+//	2. memory partitions + DRAM          — PARALLEL (one worker per partition
+//	   subset; reply injection staged per source, store releases staged)
+//	   then the staged reply injections and releases merge serially
+//	3. request network delivery          — serial (mutates partitions)
+//	4. SM memory pipelines (StepMem)     — PARALLEL (one SM per worker subset;
+//	   request injection staged per source) then the stages merge serially
+//	5. SM instruction issue (StepIssue)  — serial, in SM-id order (functional
+//	   execution reads and writes the shared simulated memory)
+//	6. CTA scheduling, budget, horizon   — serial
+//
+// Determinism rests on ownership: during a concurrent phase every component
+// touches only its own state, its own statistics shard, its own request
+// pool, and the per-source staging slots of a deferred-mode network. The
+// serial merge points (icnt.CommitInjects in source order, drainReleases in
+// partition order, mergeShards by commutative summation) reconstruct exactly
+// the state the serial loop reaches. Functional execution — the only path
+// that can read or write shared simulated memory, including atomics — is
+// confined to the serial issue phase, so no memory value ever depends on
+// goroutine scheduling.
+
+// workerPool runs phases over a fixed set of persistent goroutines; workers
+// are spawned once per launch and reused every cycle (no per-cycle spawning).
+// Channel handoffs give the happens-before edges that make each phase a full
+// barrier: work written before the phase is visible to workers, and worker
+// writes are visible to the engine after the phase.
+type workerPool struct {
+	n    int
+	work chan func(worker int)
+	done chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{n: n, work: make(chan func(int)), done: make(chan struct{})}
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			for f := range p.work {
+				f(w)
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return p
+}
+
+// runPhase hands f to every worker and blocks until all of them finish; f
+// must partition its work by the worker index it receives.
+func (p *workerPool) runPhase(f func(worker int)) {
+	for i := 0; i < p.n; i++ {
+		p.work <- f
+	}
+	for i := 0; i < p.n; i++ {
+		<-p.done
+	}
+}
+
+// close terminates the workers; the pool must not be used afterwards.
+func (p *workerPool) close() { close(p.work) }
+
+// workerCount resolves Config.Workers: 0 means GOMAXPROCS, and more workers
+// than SMs buys nothing (partitions are fewer still).
+func (g *GPU) workerCount() int {
+	n := g.cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(g.sms) {
+		n = len(g.sms)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// warpInstsTotal returns the device-wide warp-instruction count while shard
+// collectors are live: the merged total from earlier launches plus the
+// current launch's unmerged shards.
+func (g *GPU) warpInstsTotal() uint64 {
+	n := g.Col.WarpInsts
+	for _, c := range g.smCols {
+		n += c.WarpInsts
+	}
+	return n
+}
+
+// mergeShards folds every shard collector into the device collector and
+// resets the shards; called at each launch boundary (including error exits),
+// so between launches Col holds exactly what a serial run would.
+func (g *GPU) mergeShards() {
+	for _, c := range g.smCols {
+		g.Col.Merge(c)
+		c.Reset()
+	}
+	for _, c := range g.partCols {
+		g.Col.Merge(c)
+		c.Reset()
+	}
+}
+
+// launchParallel runs one kernel launch under the phase-barrier parallel
+// engine. The caller (LaunchKernel) has already validated the launch and
+// installed the kernel context.
+func (g *GPU) launchParallel(l *emu.Launch) error {
+	workers := g.workerCount()
+	pool := newWorkerPool(workers)
+	defer pool.close()
+
+	g.reqNet.SetDeferred(true)
+	g.replyNet.SetDeferred(true)
+	for _, p := range g.parts {
+		p.deferRelease = true
+	}
+	defer func() {
+		g.reqNet.SetDeferred(false)
+		g.replyNet.SetDeferred(false)
+		for _, p := range g.parts {
+			p.drainReleases()
+			p.deferRelease = false
+		}
+		g.mergeShards()
+	}()
+
+	// Trace order is completion order across the whole device; with a tracer
+	// installed the SM memory phase steps serially so the trace (and the
+	// pool-recycling order feeding it) matches the serial loop exactly.
+	serialMem := g.traced
+	frozen := make([]bool, len(g.sms))
+
+	for {
+		// Phase 1 (serial): reply delivery, which mutates SM state.
+		g.replyNet.Step(g.cycle)
+
+		// Phase 2 (parallel): partitions — DRAM, L2 hits, reply staging,
+		// request service — each touching only its own state and shard.
+		pool.runPhase(func(w int) {
+			for i := w; i < len(g.parts); i += workers {
+				g.parts[i].step(g.cycle)
+			}
+		})
+		g.replyNet.CommitInjects()
+		for _, p := range g.parts {
+			p.drainReleases()
+		}
+
+		// Phase 3 (serial): request delivery, which mutates partition state.
+		g.reqNet.Step(g.cycle)
+
+		// Phase 4 (parallel): SM memory pipelines — completions, LD/ST
+		// retries, L1 accesses, staged request injection. No functional
+		// execution happens here (see SM.StepMem).
+		if serialMem {
+			for i, s := range g.sms {
+				frozen[i] = s.StepMem(g.cycle)
+			}
+		} else {
+			pool.runPhase(func(w int) {
+				for i := w; i < len(g.sms); i += workers {
+					frozen[i] = g.sms[i].StepMem(g.cycle)
+				}
+			})
+		}
+		g.reqNet.CommitInjects()
+
+		// Phase 5 (serial, SM-id order): instruction issue. Warps execute
+		// functionally here — the only reads/writes of shared simulated
+		// memory, in exactly the serial loop's order.
+		for i, s := range g.sms {
+			if frozen[i] {
+				continue
+			}
+			if err := s.StepIssue(g.cycle); err != nil {
+				return err
+			}
+		}
+
+		// Phase 6 (serial): the loop tail, identical to the serial engine
+		// except that the warp-instruction budget sums the live shards.
+		if !g.stopIssue {
+			g.scheduleCTAs()
+			if g.cfg.MaxWarpInsts > 0 && g.warpInstsTotal() >= g.cfg.MaxWarpInsts {
+				g.stopIssue = true
+				g.cycle++
+				g.Col.GPUCycles = g.cycle
+				return nil
+			}
+		}
+		g.cycle++
+		g.Col.GPUCycles = g.cycle
+
+		if g.done() {
+			return nil
+		}
+		if g.cfg.MaxCycles > 0 && g.cycle >= g.cfg.MaxCycles {
+			return fmt.Errorf("gpu: exceeded %d cycles (possible livelock) in kernel %s",
+				g.cfg.MaxCycles, l.Kernel.Name)
+		}
+		if g.cfg.FastForward {
+			if h := g.horizon(g.cycle - 1); h > g.cycle {
+				if h == math.MaxInt64 && g.cfg.MaxCycles <= 0 {
+					return fmt.Errorf("gpu: no pending events with launch incomplete (livelock) in kernel %s",
+						l.Kernel.Name)
+				}
+				if err := g.skipTo(h, l); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

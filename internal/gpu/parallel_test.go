@@ -1,0 +1,130 @@
+package gpu
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"critload/internal/mem"
+	"critload/internal/stats"
+)
+
+func TestValidateRejectsNegativeWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted negative Workers")
+	}
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	cfg := testConfig()
+	cfg.Parallel = true
+	g := MustNew(cfg, mem.New(), stats.New())
+	sms := len(g.sms)
+
+	g.cfg.Workers = 0
+	want := runtime.GOMAXPROCS(0)
+	if want > sms {
+		want = sms
+	}
+	if got := g.workerCount(); got != want {
+		t.Errorf("Workers=0: workerCount = %d, want %d (GOMAXPROCS capped at %d SMs)", got, want, sms)
+	}
+	g.cfg.Workers = 2
+	if got := g.workerCount(); got != 2 {
+		t.Errorf("Workers=2: workerCount = %d", got)
+	}
+	g.cfg.Workers = sms + 100
+	if got := g.workerCount(); got != sms {
+		t.Errorf("Workers=%d: workerCount = %d, want cap %d", sms+100, got, sms)
+	}
+}
+
+// TestWorkerPoolPhases checks the pool's barrier semantics: every worker runs
+// each phase exactly once, phases never overlap, and worker indices partition
+// the index space.
+func TestWorkerPoolPhases(t *testing.T) {
+	const n = 4
+	pool := newWorkerPool(n)
+	defer pool.close()
+
+	var inFlight, maxInFlight, calls int64
+	seen := make([]int64, n)
+	for phase := 0; phase < 50; phase++ {
+		pool.runPhase(func(w int) {
+			cur := atomic.AddInt64(&inFlight, 1)
+			for {
+				old := atomic.LoadInt64(&maxInFlight)
+				if cur <= old || atomic.CompareAndSwapInt64(&maxInFlight, old, cur) {
+					break
+				}
+			}
+			atomic.AddInt64(&seen[w], 1)
+			atomic.AddInt64(&calls, 1)
+			atomic.AddInt64(&inFlight, -1)
+		})
+		// runPhase is a barrier: nothing may still be running here.
+		if got := atomic.LoadInt64(&inFlight); got != 0 {
+			t.Fatalf("phase %d: %d workers still in flight after runPhase returned", phase, got)
+		}
+	}
+	if calls != 50*n {
+		t.Fatalf("calls = %d, want %d", calls, 50*n)
+	}
+	for w, k := range seen {
+		if k != 50 {
+			t.Errorf("worker %d ran %d phases, want 50", w, k)
+		}
+	}
+	if maxInFlight > n {
+		t.Errorf("max in-flight %d exceeds pool size %d", maxInFlight, n)
+	}
+}
+
+// TestParallelEngineRunsVecAdd: end-to-end smoke at the gpu layer — the
+// parallel engine must produce the same result memory and collector as the
+// serial loop on the vecadd kernel (the experiments layer covers the full
+// workload matrix).
+func TestParallelEngineRunsVecAdd(t *testing.T) {
+	const n = 256
+	run := func(cfg Config) (*stats.Collector, []uint32, int64) {
+		m := mem.New()
+		a, b, c := uint32(0x1000), uint32(0x5000), uint32(0x9000)
+		for i := uint32(0); i < n; i++ {
+			m.Write32(a+4*i, i)
+			m.Write32(b+4*i, 2*i)
+		}
+		col := stats.New()
+		g := MustNew(cfg, m, col)
+		if err := g.LaunchKernel(launchOf(t, vecAddSrc, "vecadd", n/64, 64, a, b, c, n)); err != nil {
+			t.Fatalf("LaunchKernel: %v", err)
+		}
+		out := make([]uint32, n)
+		for i := uint32(0); i < n; i++ {
+			out[i] = m.Read32(c + 4*i)
+		}
+		return col, out, g.Cycle()
+	}
+
+	serialCfg := testConfig()
+	serialCfg.FastForward = false
+	wantCol, wantOut, wantCycles := run(serialCfg)
+
+	parCfg := testConfig()
+	parCfg.Parallel = true
+	parCfg.Workers = 3
+	gotCol, gotOut, gotCycles := run(parCfg)
+
+	for i := range wantOut {
+		if gotOut[i] != wantOut[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, gotOut[i], wantOut[i])
+		}
+	}
+	if gotCycles != wantCycles {
+		t.Errorf("cycles = %d, want %d", gotCycles, wantCycles)
+	}
+	if gotCol.WarpInsts != wantCol.WarpInsts || gotCol.L1Outcomes != wantCol.L1Outcomes {
+		t.Errorf("collector diverges: warpInsts %d/%d", gotCol.WarpInsts, wantCol.WarpInsts)
+	}
+}

@@ -1,0 +1,106 @@
+package icnt
+
+import (
+	"testing"
+
+	"critload/internal/memreq"
+)
+
+// TestDeferredInjectMatchesDirect is the deferred-injection contract: staging
+// the shared accounting and committing it must leave the network byte-
+// equivalent — same occupancy, counters, and delivery schedule — to one whose
+// sources injected directly.
+func TestDeferredInjectMatchesDirect(t *testing.T) {
+	cfg := Config{Latency: 4, InputQueueCap: 4}
+	direct, directArr := collectNet(t, 3, 2, cfg)
+	deferred, deferredArr := collectNet(t, 3, 2, cfg)
+	deferred.SetDeferred(true)
+
+	reqs := []struct{ src, dst int }{{0, 1}, {2, 0}, {0, 0}, {1, 1}}
+	for _, x := range reqs {
+		r := &memreq.Request{}
+		if !direct.Inject(x.src, x.dst, r, ControlFlits, 0) {
+			t.Fatalf("direct inject %v failed", x)
+		}
+		if !deferred.Inject(x.src, x.dst, r, ControlFlits, 0) {
+			t.Fatalf("deferred inject %v failed", x)
+		}
+	}
+	// Queues fill immediately in both modes (they are single-owner state);
+	// only the shared accounting is staged.
+	if got, want := deferred.QueueLen(0), direct.QueueLen(0); got != want {
+		t.Fatalf("deferred QueueLen(0) = %d, want %d", got, want)
+	}
+	if deferred.Pending() != 0 || deferred.Injected != 0 {
+		t.Fatalf("deferred mode leaked into shared counters before commit: pending=%d injected=%d",
+			deferred.Pending(), deferred.Injected)
+	}
+
+	deferred.CommitInjects()
+	if deferred.Pending() != direct.Pending() || deferred.Injected != direct.Injected {
+		t.Fatalf("after commit: pending=%d/%d injected=%d/%d (deferred/direct)",
+			deferred.Pending(), direct.Pending(), deferred.Injected, direct.Injected)
+	}
+
+	for cyc := int64(0); cyc < 30; cyc++ {
+		direct.Step(cyc)
+		deferred.Step(cyc)
+	}
+	if len(*directArr) != len(reqs) {
+		t.Fatalf("direct delivered %d of %d", len(*directArr), len(reqs))
+	}
+	for i := range *directArr {
+		if (*directArr)[i] != (*deferredArr)[i] {
+			t.Fatalf("delivery %d at cycle %d (deferred) vs %d (direct)",
+				i, (*deferredArr)[i], (*directArr)[i])
+		}
+	}
+	if direct.Delivered != deferred.Delivered || direct.TotalDelay != deferred.TotalDelay {
+		t.Fatalf("delivery stats diverge: delivered %d/%d delay %d/%d",
+			deferred.Delivered, direct.Delivered, deferred.TotalDelay, direct.TotalDelay)
+	}
+}
+
+// TestCommitResetsQuietCache: with fast-forward on, a commit must invalidate
+// the quiet cache the way a direct injection does, or Step would sleep
+// through the newly staged packets.
+func TestCommitResetsQuietCache(t *testing.T) {
+	n, arrivals := collectNet(t, 2, 2, Config{Latency: 2, InputQueueCap: 4})
+	n.SetFastForward(true)
+	r := &memreq.Request{}
+	if !n.Inject(0, 0, r, ControlFlits, 0) {
+		t.Fatal("warmup inject failed")
+	}
+	for cyc := int64(0); cyc <= 2; cyc++ {
+		n.Step(cyc) // delivers at 2 and caches a far-future quietUntil
+	}
+	n.SetDeferred(true)
+	if !n.Inject(1, 1, r, ControlFlits, 3) {
+		t.Fatal("deferred inject failed")
+	}
+	n.CommitInjects()
+	for cyc := int64(3); cyc <= 5; cyc++ {
+		n.Step(cyc)
+	}
+	if len(*arrivals) != 2 {
+		t.Fatalf("deliveries = %d, want 2 (quiet cache swallowed the committed packet)", len(*arrivals))
+	}
+	if (*arrivals)[1] != 5 {
+		t.Errorf("committed packet arrived at %d, want 5", (*arrivals)[1])
+	}
+}
+
+// TestSetDeferredOffCommitsOutstanding: leaving deferred mode must settle any
+// stages so no injection is ever stranded.
+func TestSetDeferredOffCommitsOutstanding(t *testing.T) {
+	n, _ := collectNet(t, 2, 1, Config{Latency: 1, InputQueueCap: 4})
+	n.SetDeferred(true)
+	if !n.Inject(0, 0, &memreq.Request{}, ControlFlits, 0) {
+		t.Fatal("inject failed")
+	}
+	n.SetDeferred(false)
+	if n.Pending() != 1 || n.Injected != 1 {
+		t.Fatalf("SetDeferred(false) stranded the stage: pending=%d injected=%d",
+			n.Pending(), n.Injected)
+	}
+}

@@ -448,8 +448,33 @@ func (s *SM) retireCTA(cc *ctaCtx) {
 }
 
 // Step advances the SM one cycle: completions, the LD/ST pipeline, then
-// instruction issue, then occupancy statistics.
+// instruction issue, then occupancy statistics. It is exactly
+// StepMem followed (when not frozen) by StepIssue; the split exists so the
+// parallel cycle engine can run the memory-pipeline halves of all SMs
+// concurrently and the issue halves serially.
 func (s *SM) Step(now int64) error {
+	if s.StepMem(now) {
+		return nil
+	}
+	return s.StepIssue(now)
+}
+
+// StepMem advances the completion and LD/ST pipeline half of a cycle and
+// reports whether the SM is frozen by a valid stall cache — in which case the
+// cycle is fully accounted and StepIssue must not run.
+//
+// Step isolation (the parallel engine's phase-1 contract): everything this
+// method touches is either owned by this SM — warp contexts, the private L1,
+// the per-SM request pool and collector shard, the event queues — or reaches
+// shared components only through their concurrency-safe merge points: request
+// injection goes to this SM's own source queue of a deferred-mode network
+// (per-source staging, serially committed), and PartitionOf is a pure
+// function of the configuration. No functional execution happens here — warp
+// instructions (and hence all reads and writes of the shared simulated
+// memory) execute at issue, which the parallel engine serializes. The one
+// exception is an installed Tracer, whose Add order is globally meaningful;
+// the engine falls back to stepping SMs serially when tracing.
+func (s *SM) StepMem(now int64) bool {
 	s.processWritebacks(now)
 	s.stepLDST(now)
 	if now < s.stallUntil {
@@ -458,8 +483,18 @@ func (s *SM) Step(now int64) error {
 		// Only the occupancy counters advance, exactly as a fruitless full
 		// step would leave them.
 		s.recordOccupancy(now)
-		return nil
+		return true
 	}
+	return false
+}
+
+// StepIssue runs the issue half of a cycle: the warp schedulers (functionally
+// executing the chosen instructions), the stall-cache refresh, and the
+// occupancy statistics. It must only be called after StepMem(now) returned
+// false, and — because functional execution reads and writes the shared
+// simulated memory — from one goroutine at a time, in SM-id order, to stay
+// byte-identical to the serial loop.
+func (s *SM) StepIssue(now int64) error {
 	if err := s.issue(now); err != nil {
 		return err
 	}

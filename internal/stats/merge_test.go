@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+
+	"critload/internal/cache"
+	"critload/internal/isa"
+)
+
+// fillTiming populates a collector through the timing-path recording APIs
+// only — the population a parallel-engine shard can legally carry.
+func fillTiming(seed uint64) *Collector {
+	c := New()
+	c.WarpInsts = seed
+	c.ThreadInsts = seed * 32
+	c.SLoadWarps = seed + 1
+	c.GStoreWarps = seed + 2
+	c.Prefetches = seed % 3
+	c.RecordSMCycles(10 * seed)
+	c.RecordUnitCycles(isa.UnitLDST, 3*seed)
+	c.RecordUnitCycle(isa.UnitSP, true)
+	c.RecordL1Outcome(Det, cache.Hit)
+	c.RecordL1Outcome(NonDet, cache.Miss)
+	c.RecordL1Outcome(NonDet, cache.RsrvFailICNT)
+	c.RecordL2Outcome(Det, cache.Miss, int(seed))
+	c.RecordL2Outcome(NonDet, cache.Hit, int(seed)+1)
+	c.RecordLoadOp(LoadOpRecord{
+		Kernel: "k", PC: 8, NonDet: seed%2 == 1, NReq: int(seed%4) + 1,
+		Total: int64(100 * seed), Unloaded: int64(40 * seed),
+		RsrvPrev: int64(5 * seed), RsrvCurr: int64(2 * seed),
+		GapIcntL2: int64(seed), GapL2Icnt: int64(seed),
+	})
+	c.GLoadWarps[Det] = seed
+	c.GLoadThreads[Det] = 32 * seed
+	c.Requests[NonDet] = 2 * seed
+	return c
+}
+
+// TestMergeEqualsSerialAccumulation is the parallel engine's reduction
+// contract: recording into shards and merging must equal recording everything
+// into one collector, regardless of how the records were split.
+func TestMergeEqualsSerialAccumulation(t *testing.T) {
+	// One collector that saw everything.
+	serial := New()
+	serial.Merge(fillTiming(3))
+	serial.Merge(fillTiming(7))
+	serial.Merge(fillTiming(11))
+
+	// The same records split across shards, merged in a different order.
+	merged := New()
+	for _, seed := range []uint64{11, 3, 7} {
+		merged.Merge(fillTiming(seed))
+	}
+	if !reflect.DeepEqual(serial, merged) {
+		t.Fatalf("merge is order-dependent:\n serial: %+v\n merged: %+v", serial, merged)
+	}
+	// Spot-check a per-PC bucket actually merged rather than overwrote.
+	p := merged.PerPC[PCKey{Kernel: "k", PC: 8}]
+	if p == nil {
+		t.Fatal("PerPC entry lost in merge")
+	}
+	var ops uint64
+	for _, g := range p.ByNReq {
+		ops += g.Ops
+	}
+	if ops != 3 {
+		t.Fatalf("PerPC ops = %d, want 3", ops)
+	}
+}
+
+// TestMergePanicsOnFunctionalBlockData: the block map's first/last-CTA fields
+// are observation-order dependent, so a shard carrying them must be rejected
+// loudly instead of folded in.
+func TestMergePanicsOnFunctionalBlockData(t *testing.T) {
+	src := New()
+	src.observeBlock(0, 128, Det)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge accepted a collector with functional-path block data")
+		}
+	}()
+	New().Merge(src)
+}
+
+// TestReset returns a collector to its constructed state in place, so shard
+// pointers held by SMs and partitions stay valid across launches.
+func TestReset(t *testing.T) {
+	c := fillTiming(5)
+	c.Reset()
+	if !reflect.DeepEqual(c, New()) {
+		t.Fatalf("Reset left residue: %+v", c)
+	}
+	// The maps must be usable after Reset, not nil.
+	c.RecordLoadOp(LoadOpRecord{Kernel: "k", PC: 0, NReq: 1, Total: 1})
+	if len(c.PerPC) != 1 {
+		t.Fatal("collector unusable after Reset")
+	}
+}

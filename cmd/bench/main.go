@@ -63,8 +63,16 @@ type baseline struct {
 	Summary         summary      `json:"summary"`
 }
 
-// measureBest takes the best (minimum-wall-time) of n independent runs; heap
-// counters come from the same best run so the row is self-consistent.
+// longRunSeconds is the wall time past which a case is measured once.
+// Best-of-N exists to beat scheduler noise on sub-second runs; a run this
+// long averages that noise away by itself, and repeating the 4x/8x
+// memory-bound rows would multiply the regression job's cost for no
+// precision gain.
+const longRunSeconds = 10.0
+
+// measureBest takes the best (minimum-wall-time) of up to n independent
+// runs; heap counters come from the same best run so the row is
+// self-consistent. Runs past longRunSeconds are not repeated.
 func measureBest(n int, measure func() (experiments.EngineMeasurement, error)) (experiments.EngineMeasurement, error) {
 	var best experiments.EngineMeasurement
 	for i := 0; i < n; i++ {
@@ -74,6 +82,9 @@ func measureBest(n int, measure func() (experiments.EngineMeasurement, error)) (
 		}
 		if i == 0 || m.WallSeconds < best.WallSeconds {
 			best = m
+		}
+		if m.WallSeconds >= longRunSeconds {
+			break
 		}
 	}
 	return best, nil

@@ -10,6 +10,8 @@
 //	critloadd                         # listen on :8321, one worker per CPU
 //	critloadd -addr :9000 -workers 4  # custom bind and pool size
 //	critloadd -cache 1024 -queue 512  # larger result cache and job queue
+//	critloadd -cache-dir /var/cache/critload   # on-disk checkpoint store so
+//	                                  # jobs with reuse_checkpoints warm-start
 //	critloadd -log-format json        # machine-readable logs
 //	critloadd -pprof localhost:6060   # expose net/http/pprof separately
 package main
@@ -24,9 +26,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"critload/internal/checkpoint"
 	"critload/internal/jobs"
 	"critload/internal/obsv"
 	"critload/internal/server"
@@ -38,6 +42,10 @@ func main() {
 	queue := flag.Int("queue", jobs.DefaultQueueDepth, "job queue depth")
 	cacheEntries := flag.Int("cache", jobs.DefaultCacheEntries,
 		"result cache entries (negative disables caching)")
+	cacheDir := flag.String("cache-dir", "",
+		"on-disk cache directory; checkpoints live under <cache-dir>/checkpoints (empty disables checkpoint reuse)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", 1<<30,
+		"eviction budget in bytes for the on-disk cache directory (0 = unbounded)")
 	grace := flag.Duration("grace", 30*time.Second,
 		"shutdown grace period for draining running jobs")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
@@ -47,18 +55,29 @@ func main() {
 	flag.Parse()
 
 	log := obsv.NewLogger(os.Stderr, *logFormat, obsv.ParseLevel(*logLevel))
-	if err := run(log, *addr, *pprofAddr, *workers, *queue, *cacheEntries, *grace); err != nil {
+	if err := run(log, *addr, *pprofAddr, *cacheDir, *workers, *queue, *cacheEntries,
+		*cacheDiskBytes, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "critloadd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(log *slog.Logger, addr, pprofAddr string, workers, queue, cacheEntries int, grace time.Duration) error {
+func run(log *slog.Logger, addr, pprofAddr, cacheDir string, workers, queue, cacheEntries int,
+	cacheDiskBytes int64, grace time.Duration) error {
+	var ckpts *checkpoint.Store
+	if cacheDir != "" {
+		var err error
+		ckpts, err = checkpoint.Open(filepath.Join(cacheDir, "checkpoints"), cacheDiskBytes)
+		if err != nil {
+			return fmt.Errorf("opening checkpoint store: %w", err)
+		}
+		log.Info("checkpoint store open", "dir", ckpts.Dir(), "budget_bytes", cacheDiskBytes)
+	}
 	mgr, err := jobs.NewManager(jobs.Config{
 		Workers:      workers,
 		QueueDepth:   queue,
 		CacheEntries: cacheEntries,
-		Runner:       server.SimRunner(),
+		Runner:       server.SimRunnerWith(ckpts),
 	})
 	if err != nil {
 		return err
@@ -66,7 +85,7 @@ func run(log *slog.Logger, addr, pprofAddr string, workers, queue, cacheEntries 
 
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(mgr, server.WithLogger(log)),
+		Handler:           server.New(mgr, server.WithLogger(log), server.WithCheckpoints(ckpts)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

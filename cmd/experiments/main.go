@@ -11,18 +11,27 @@
 //	experiments -size-scale small     # reduced inputs for a quick pass
 //	experiments -parallel 8           # warm the suite on 8 workers first
 //	experiments -cpuprofile cpu.prof  # profile the sweep (go tool pprof)
+//	experiments -checkpoint-dir ""    # disable incremental warm starts
+//	experiments -artifact warmstart -warmstart-out BENCH_warmstart.json
+//	                                  # record the incremental-sweep measurement
+//	experiments -artifact warmstart -warmstart-check BENCH_warmstart.json
+//	                                  # regenerate and compare it exactly
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"critload/internal/cache"
+	"critload/internal/checkpoint"
 	"critload/internal/experiments"
 	"critload/internal/isa"
 	"critload/internal/profiler"
@@ -40,9 +49,13 @@ func emit(t *report.Table) {
 	}
 }
 
+// checkpointBudgetBytes caps the shared on-disk checkpoint store; LRU
+// eviction keeps the directory under it across invocations.
+const checkpointBudgetBytes = 4 << 30
+
 func main() {
 	artifact := flag.String("artifact", "all",
-		"artifact to regenerate: all, table1, table3, fig1..fig12, ablation")
+		"artifact to regenerate: all, table1, table3, fig1..fig12, ablation, warmstart")
 	seed := flag.Int64("seed", 1, "input generation seed")
 	maxInsts := flag.Uint64("max-insts", 400_000,
 		"timing-window warp-instruction budget per workload (0 = complete runs)")
@@ -51,19 +64,31 @@ func main() {
 		"workers executing the sweep concurrently (0 = serial, -1 = one per CPU)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	ckptDir := flag.String("checkpoint-dir", filepath.Join(os.TempDir(), "critload-checkpoints"),
+		"checkpoint store so repeated sweeps warm-start instead of re-simulating (empty disables)")
+	warmOut := flag.String("warmstart-out", "",
+		"with -artifact warmstart: also write the report JSON to this path")
+	warmCheck := flag.String("warmstart-check", "",
+		"with -artifact warmstart: regenerate and compare against this committed report instead of writing")
 	flag.Parse()
 	markdown = *md
 
 	// The sweep runs inside a function returning error so the deferred
 	// profile writers always flush; os.Exit here would skip them.
-	if err := sweep(strings.ToLower(*artifact), *seed, *maxInsts, *parallel,
-		*cpuProfile, *memProfile); err != nil {
+	var err error
+	if strings.ToLower(*artifact) == "warmstart" {
+		err = warmstart(*warmOut, *warmCheck, *seed)
+	} else {
+		err = sweep(strings.ToLower(*artifact), *ckptDir, *seed, *maxInsts, *parallel,
+			*cpuProfile, *memProfile)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func sweep(artifact string, seed int64, maxInsts uint64, parallel int, cpuProfile, memProfile string) error {
+func sweep(artifact, ckptDir string, seed int64, maxInsts uint64, parallel int, cpuProfile, memProfile string) error {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -92,7 +117,15 @@ func sweep(artifact string, seed int64, maxInsts uint64, parallel int, cpuProfil
 		}()
 	}
 
-	suite := experiments.NewSuite(experiments.Options{Seed: seed, MaxWarpInsts: maxInsts})
+	opts := experiments.Options{Seed: seed, MaxWarpInsts: maxInsts}
+	if ckptDir != "" {
+		store, err := checkpoint.Open(ckptDir, checkpointBudgetBytes)
+		if err != nil {
+			return fmt.Errorf("checkpoint store: %w", err)
+		}
+		opts.Checkpoints = store
+	}
+	suite := experiments.NewSuite(opts)
 	if parallel != 0 {
 		// Warm the suite's run caches through the worker pool; the
 		// generators below then emit in their usual serial order, so the
@@ -405,6 +438,83 @@ func table3(s *experiments.Suite) error {
 		t.Add(cells...)
 	}
 	emit(t)
+	return nil
+}
+
+// The recorded warm-start sweep: sssp has the densest kernel-launch boundary
+// sequence of the graph workloads (26 boundaries at this size), so the swept
+// late parameter — the measurement-window budget — leaves long shared
+// prefixes for checkpoints to collapse. Budget 0 is the complete run.
+const (
+	warmStartWorkload = "sssp"
+	warmStartSize     = 1024
+)
+
+var warmStartBudgets = []uint64{28_000, 42_000, 56_000, 0}
+
+// warmstart measures the incremental sweep from an empty store (a shared
+// store would make point one warm and the report irreproducible), prints it,
+// and optionally records it to, or checks it against, a committed JSON file.
+// The ≥50%-skipped acceptance bar is enforced on every regeneration.
+func warmstart(outPath, checkPath string, seed int64) error {
+	dir, err := os.MkdirTemp("", "critload-warmstart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := checkpoint.Open(dir, 0)
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.MeasureWarmStart(warmStartWorkload, warmStartSize, seed, warmStartBudgets, store)
+	if err != nil {
+		return err
+	}
+
+	t := report.New(
+		fmt.Sprintf("Warm-start sweep — %s size %d, measurement-window budget as the late parameter",
+			rep.Workload, rep.Size),
+		"max warp insts", "cycles", "warp insts", "resumed at boundary", "cycles inherited", "cycles simulated")
+	for _, p := range rep.Points {
+		budget := "complete"
+		if p.MaxWarpInsts > 0 {
+			budget = fmt.Sprint(p.MaxWarpInsts)
+		}
+		t.Add(budget, p.Cycles, p.WarpInsts, p.WarmStartIndex, p.WarmStartCycles, p.SimulatedCycles)
+	}
+	emit(t)
+	fmt.Printf("warm starts skipped %d of %d simulated cycles (%.1f%%)\n",
+		rep.CyclesSkipped, rep.TotalCycles, 100*rep.SkippedFraction)
+
+	if rep.SkippedFraction < 0.5 {
+		return fmt.Errorf("warm starts skipped only %.1f%% of simulated cycles, want >= 50%%",
+			100*rep.SkippedFraction)
+	}
+	if checkPath != "" {
+		buf, err := os.ReadFile(checkPath)
+		if err != nil {
+			return fmt.Errorf("reading committed report: %w", err)
+		}
+		var committed experiments.WarmStartReport
+		if err := json.Unmarshal(buf, &committed); err != nil {
+			return fmt.Errorf("parsing committed report %s: %w", checkPath, err)
+		}
+		// Every field is deterministic, so the comparison is exact.
+		if !reflect.DeepEqual(&committed, rep) {
+			fresh, _ := json.Marshal(rep)
+			return fmt.Errorf("regenerated warm-start report differs from %s:\n%s", checkPath, fresh)
+		}
+		fmt.Printf("warmstart-check: %s reproduced exactly\n", checkPath)
+	}
+	if outPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

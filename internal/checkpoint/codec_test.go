@@ -1,0 +1,116 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Tag(0xCAFE)
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.Int(-7)
+	w.I32(-1)
+	w.Blob([]byte{1, 2, 3})
+	w.Str("kernel_main")
+
+	r := NewReader(w.Bytes())
+	r.Tag(0xCAFE)
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool round-trip failed")
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.I32(); got != -1 {
+		t.Errorf("I32 = %d", got)
+	}
+	if got := r.Blob(); string(got) != "\x01\x02\x03" {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := r.Str(); got != "kernel_main" {
+		t.Errorf("Str = %q", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestReaderTagMismatch(t *testing.T) {
+	w := NewWriter()
+	w.Tag(1)
+	r := NewReader(w.Bytes())
+	r.Tag(2)
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "tag mismatch") {
+		t.Fatalf("want tag mismatch error, got %v", err)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U64() // truncated
+	if r.Err() == nil {
+		t.Fatal("want truncation error")
+	}
+	first := r.Err()
+	// Every later accessor returns zero values and keeps the first error.
+	if got := r.U32(); got != 0 {
+		t.Errorf("post-error U32 = %d", got)
+	}
+	if got := r.Blob(); got != nil {
+		t.Errorf("post-error Blob = %v", got)
+	}
+	if r.Err() != first {
+		t.Errorf("error not sticky: %v", r.Err())
+	}
+}
+
+func TestReaderRejectsImplausibleCount(t *testing.T) {
+	w := NewWriter()
+	w.Int(1 << 40) // claims a huge sequence with no bytes behind it
+	r := NewReader(w.Bytes())
+	if n := r.Count(8); n != 0 || r.Err() == nil {
+		t.Fatalf("Count accepted %d with err %v", n, r.Err())
+	}
+}
+
+func TestReaderCloseFlagsTrailingBytes(t *testing.T) {
+	w := NewWriter()
+	w.U32(1)
+	w.U32(2)
+	r := NewReader(w.Bytes())
+	_ = r.U32()
+	if err := r.Close(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-bytes error, got %v", err)
+	}
+}
+
+func TestBlobDoesNotAliasInput(t *testing.T) {
+	w := NewWriter()
+	w.Blob([]byte{9, 9, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.Blob()
+	got[0] = 1
+	r2 := NewReader(buf)
+	if again := r2.Blob(); again[0] != 9 {
+		t.Fatal("Blob aliases the input buffer")
+	}
+}

@@ -12,11 +12,16 @@
 //     comparator, via experiments.DiffRuns);
 //  4. parallel — the phase-barrier parallel engine must match engine A the
 //     same way, so every fuzzed kernel also exercises the concurrent cycle
-//     loop.
+//     loop;
+//  5. checkpoint — snapshotting the device at a kernel-launch boundary,
+//     restoring into a fresh device, and resuming must be byte-identical
+//     (collector, cycle counts, final memory) to simulating straight
+//     through, so every fuzzed kernel also exercises the serialization
+//     contract of internal/checkpoint.
 //
-// A clean Check means all four agree; any Divergence is a bug in exactly
-// one of the generator, the classifier, the emulator, or a cycle engine —
-// which is the point.
+// A clean Check means all five agree; any Divergence is a bug in exactly
+// one of the generator, the classifier, the emulator, a cycle engine, or
+// the checkpoint codec — which is the point.
 package difftest
 
 import (
@@ -48,6 +53,9 @@ type Options struct {
 	// oracle entirely (for callers that only study the serial engines).
 	GPUP         func() gpu.Config
 	SkipParallel bool
+	// SkipCheckpoint drops the fifth oracle (snapshot/restore byte-identity),
+	// for callers that only study the live engines.
+	SkipCheckpoint bool
 	// MaxCycles overrides DefaultMaxCycles (0 = default).
 	MaxCycles int64
 	// MaxWarpInsts overrides DefaultMaxWarpInsts for emulator runs.
@@ -96,7 +104,7 @@ func (o Options) maxWarpInsts() uint64 {
 
 // Divergence is one oracle disagreement.
 type Divergence struct {
-	Oracle string // "classify", "functional", "timing" or "parallel"
+	Oracle string // "classify", "functional", "timing", "parallel" or "checkpoint"
 	Detail string
 }
 
@@ -117,7 +125,7 @@ func (r *Report) add(oracle, format string, args ...any) {
 	r.Divergences = append(r.Divergences, Divergence{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Check runs a case through all four oracles.
+// Check runs a case through all five oracles.
 func Check(c *kgen.Case, opts Options) *Report {
 	rep := &Report{Case: c}
 	for _, cls := range c.Want {
@@ -213,6 +221,32 @@ func Check(c *kgen.Case, opts Options) *Report {
 			rep.add("parallel", "parallel engine memory differs from emulator: %s", d)
 		}
 	}
+
+	// Oracle 5: checkpoint/restore. Launch the kernel twice so the second
+	// launch starts from non-trivial persistent state (warm caches, open DRAM
+	// rows, accumulated statistics). The resumed variant snapshots the device
+	// after launch one, restores into a brand-new device over a fresh
+	// environment, and runs launch two there; it must be byte-identical —
+	// collector, cycle counts, final memory — to running both launches
+	// straight through.
+	if !opts.SkipCheckpoint {
+		runS, snapS, errS := runTimingResumed(c, opts.gpuB(), opts.maxCycles(), false)
+		runR, snapR, errR := runTimingResumed(c, opts.gpuB(), opts.maxCycles(), true)
+		if errS != nil || errR != nil {
+			if fmt.Sprint(errS) != fmt.Sprint(errR) {
+				rep.add("checkpoint", "straight-through and resumed runs disagree on errors: %v vs %v", errS, errR)
+			}
+			// Identical errors mean the double launch hit a shared limit the
+			// same way on both paths — not a checkpoint divergence.
+			return rep
+		}
+		for _, d := range experiments.DiffRuns(runS, runR) {
+			rep.add("checkpoint", "%s", d)
+		}
+		if d := diffSnapshots(snapS, snapR); d != "" {
+			rep.add("checkpoint", "resumed-run memory differs from straight-through: %s", d)
+		}
+	}
 	return rep
 }
 
@@ -241,6 +275,47 @@ func runTiming(c *kgen.Case, cfg gpu.Config, maxCycles int64) (*experiments.Run,
 	g, err := gpu.New(cfg, env.Mem, col)
 	if err != nil {
 		return nil, nil, err
+	}
+	if err := g.LaunchKernel(env.Launch); err != nil {
+		return nil, nil, err
+	}
+	r := &experiments.Run{Col: col, Cycles: g.Cycle(), SkippedCycles: g.SkippedCycles}
+	return r, env.Snapshot(), nil
+}
+
+// runTimingResumed executes the case's kernel twice on one logical device.
+// With resume=false both launches run on the same GPU; with resume=true the
+// device state is serialized after the first launch and restored into a fresh
+// GPU over a fresh environment before the second. Both variants get doubled
+// cycle headroom since two launches share one cycle counter.
+func runTimingResumed(c *kgen.Case, cfg gpu.Config, maxCycles int64, resume bool) (*experiments.Run, []uint32, error) {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2 * maxCycles
+	}
+	env := c.NewEnv()
+	col := stats.New()
+	g, err := gpu.New(cfg, env.Mem, col)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := g.LaunchKernel(env.Launch); err != nil {
+		return nil, nil, err
+	}
+	if resume {
+		blob, err := g.Snapshot()
+		if err != nil {
+			return nil, nil, fmt.Errorf("snapshot: %w", err)
+		}
+		env2 := c.NewEnv()
+		col2 := stats.New()
+		g2, err := gpu.New(cfg, env2.Mem, col2)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := g2.Restore(blob); err != nil {
+			return nil, nil, fmt.Errorf("restore: %w", err)
+		}
+		env, col, g = env2, col2, g2
 	}
 	if err := g.LaunchKernel(env.Launch); err != nil {
 		return nil, nil, err

@@ -1,0 +1,98 @@
+package dram
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"critload/internal/checkpoint"
+	"critload/internal/memreq"
+)
+
+func discard(r *memreq.Request, now int64) {}
+
+func snapBytes(t *testing.T, c *Controller) []byte {
+	t.Helper()
+	w := checkpoint.NewWriter()
+	c.Snapshot(w)
+	return w.Bytes()
+}
+
+// TestSnapshotRoundTrip checks that bank busy horizons, open rows and the
+// service statistics survive a restore into a fresh channel byte for byte.
+func TestSnapshotRoundTrip(t *testing.T) {
+	src, err := New(DefaultConfig(), discard)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	src.banks[0] = bank{busyUntil: 117, openRow: 3}
+	src.banks[5] = bank{busyUntil: 42, openRow: 9}
+	src.Serviced = 12
+	src.RowHits = 7
+	src.RowMisses = 5
+	src.TotalWait = 88
+
+	b1 := snapBytes(t, src)
+	dst, err := New(DefaultConfig(), discard)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := dst.Restore(checkpoint.NewReader(b1)); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if b2 := snapBytes(t, dst); !bytes.Equal(b1, b2) {
+		t.Fatalf("re-snapshot differs")
+	}
+	if dst.banks[0] != (bank{busyUntil: 117, openRow: 3}) || dst.banks[15].openRow != -1 {
+		t.Errorf("banks not restored: %+v", dst.banks[0])
+	}
+	if dst.Serviced != 12 || dst.RowHits != 7 || dst.RowMisses != 5 || dst.TotalWait != 88 {
+		t.Errorf("stats not restored")
+	}
+}
+
+// TestSnapshotPanicsWithPending checks the drain invariant.
+func TestSnapshotPanicsWithPending(t *testing.T) {
+	c, err := New(DefaultConfig(), discard)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.queue = append(c.queue, queued{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot of a non-drained channel did not panic")
+		}
+	}()
+	c.Snapshot(checkpoint.NewWriter())
+}
+
+// TestRestoreRejections covers the refusal paths: pending requests on the
+// receiver, a bank-count mismatch, and truncation.
+func TestRestoreRejections(t *testing.T) {
+	src, err := New(DefaultConfig(), discard)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	good := snapBytes(t, src)
+
+	busy, _ := New(DefaultConfig(), discard)
+	busy.inflight = append(busy.inflight, inflight{})
+	if err := busy.Restore(checkpoint.NewReader(good)); err == nil || !strings.Contains(err.Error(), "pending") {
+		t.Errorf("busy restore: %v", err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Banks = 8
+	mismatched, err := New(cfg, discard)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := mismatched.Restore(checkpoint.NewReader(good)); err == nil || !strings.Contains(err.Error(), "banks") {
+		t.Errorf("bank mismatch: %v", err)
+	}
+
+	dst, _ := New(DefaultConfig(), discard)
+	if err := dst.Restore(checkpoint.NewReader(good[:len(good)-2])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

@@ -7,9 +7,11 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
+	"critload/internal/checkpoint"
 	"critload/internal/dataflow"
 	"critload/internal/emu"
 	"critload/internal/gpu"
@@ -38,6 +40,14 @@ type Options struct {
 	// Tracer, when non-nil, receives every completed memory request of
 	// timing runs (see the trace package).
 	Tracer sm.Tracer
+	// Checkpoints, when non-nil, enables incremental simulation for timing
+	// runs: each run resumes from the deepest valid checkpoint sharing its
+	// prefix key and saves a checkpoint at every kernel-launch boundary it
+	// simulates. Results are byte-identical to cold runs (the difftest fifth
+	// oracle enforces it); any checkpoint problem falls back to a cold run.
+	// Ignored while a Tracer is installed — a warm start would skip the
+	// prefix's trace entries.
+	Checkpoints *checkpoint.Store
 	// Progress, when non-nil, receives a heartbeat at every kernel-launch
 	// boundary: the simulated cycle count so far (always 0 for functional
 	// runs, which have no clock) and warp instructions executed. The
@@ -81,6 +91,12 @@ type Run struct {
 	// SkippedCycles is the portion of Cycles the fast-forward engine jumped
 	// over instead of stepping (always 0 for functional and serial runs).
 	SkippedCycles int64
+	// WarmStartIndex is the kernel-launch boundary this run resumed from
+	// (0 = cold start); set only when Options.Checkpoints is enabled.
+	WarmStartIndex int
+	// WarmStartCycles is the number of simulated cycles inherited from the
+	// checkpoint instead of re-simulated (0 for cold starts).
+	WarmStartCycles int64
 }
 
 // suiteCall is one singleflight execution slot: the first caller runs the
@@ -242,8 +258,28 @@ func RunTimingCtx(ctx context.Context, name string, opts Options) (*Run, error) 
 
 // runTimingInst simulates an already-built instance; split from RunTimingCtx
 // so the benchmark harness can time the simulation alone, excluding input
-// generation.
+// generation. With a checkpoint store configured it takes the incremental
+// path; any warm-start failure (corrupt blob, diverged launch sequence) is
+// recovered by re-running cold from a fresh instance, so checkpoints can cost
+// time but never poison a result.
 func runTimingInst(ctx context.Context, w *workloads.Workload, inst *workloads.Instance, opts Options) (*Run, error) {
+	if opts.Checkpoints != nil && opts.Tracer == nil {
+		run, err := runTimingCheckpointed(ctx, w, inst, opts)
+		var ws *warmStartError
+		if err == nil || !errors.As(err, &ws) {
+			return run, err
+		}
+		inst2, serr := w.Setup(workloads.Params{Size: opts.Size, Seed: opts.Seed})
+		if serr != nil {
+			return nil, fmt.Errorf("experiments: %s re-setup after failed warm start: %w", w.Name, serr)
+		}
+		inst = inst2
+	}
+	return runTimingCold(ctx, w, inst, opts)
+}
+
+// runTimingCold is the straight-through timing run: no checkpoint use.
+func runTimingCold(ctx context.Context, w *workloads.Workload, inst *workloads.Instance, opts Options) (*Run, error) {
 	col := stats.New()
 	cfg := opts.gpuConfig()
 	cfg.MaxWarpInsts = opts.MaxWarpInsts

@@ -43,6 +43,12 @@ type Spec struct {
 	// deliberately excluded from the cache key: it bounds the run but
 	// never alters the result a successful run produces.
 	Timeout time.Duration `json:"timeout,omitempty"`
+	// ReuseCheckpoints lets a timing run warm-start from (and contribute to)
+	// the daemon's checkpoint store when one is configured. Like Timeout it
+	// is excluded from the cache key: warm starts are byte-identical to cold
+	// runs — the difftest fifth oracle enforces it — so the flag changes how
+	// fast a result arrives, never the result.
+	ReuseCheckpoints bool `json:"reuse_checkpoints,omitempty"`
 }
 
 // Validate checks the spec against the registered workloads and modes.

@@ -1,0 +1,57 @@
+package mem
+
+import (
+	"sort"
+
+	"critload/internal/checkpoint"
+)
+
+// snapTag marks the memory section of a checkpoint payload.
+const snapTag = 0x4D454D30 // "MEM0"
+
+// Snapshot serializes the full memory contents: the allocator cursor and
+// every mapped page in ascending page order (sorted iteration keeps the
+// encoding deterministic for content addressing).
+func (m *Memory) Snapshot(w *checkpoint.Writer) {
+	w.Tag(snapTag)
+	w.U32(m.brk)
+	ids := make([]uint32, 0, len(m.pages))
+	for id := range m.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Int(len(ids))
+	for _, id := range ids {
+		w.U32(id)
+		w.Blob(m.pages[id])
+	}
+}
+
+// Restore replaces the memory contents wholesale with a snapshot: pages not
+// present in the snapshot are unmapped, so the result is byte-identical to
+// the memory at snapshot time regardless of what the instance touched since.
+// On error the memory is left unchanged.
+func (m *Memory) Restore(r *checkpoint.Reader) error {
+	r.Tag(snapTag)
+	brk := r.U32()
+	n := r.Count(4 + PageSize)
+	pages := make(map[uint32][]byte, n)
+	for i := 0; i < n; i++ {
+		id := r.U32()
+		b := r.Blob()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if len(b) != PageSize {
+			r.Failf("mem: snapshot page %#x has %d bytes, want %d", id, len(b), PageSize)
+			return r.Err()
+		}
+		pages[id] = b
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	m.brk = brk
+	m.pages = pages
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"critload/internal/checkpoint"
 	"critload/internal/jobs"
 	"critload/internal/obsv"
 )
@@ -57,7 +58,7 @@ type metricsSet struct {
 	requests map[string]*obsv.Counter // endpoint + status → counter
 }
 
-func newMetricsSet(mgr *jobs.Manager, start time.Time) *metricsSet {
+func newMetricsSet(mgr *jobs.Manager, ckpts *checkpoint.Store, start time.Time) *metricsSet {
 	reg := obsv.NewRegistry()
 	m := &metricsSet{
 		reg:      reg,
@@ -109,6 +110,39 @@ func newMetricsSet(mgr *jobs.Manager, start time.Time) *metricsSet {
 	reg.GaugeFunc("critloadd_uptime_seconds",
 		"Seconds since the server started.", nil,
 		func() float64 { return time.Since(start).Seconds() })
+
+	// Checkpoint-store effectiveness, read from the store at scrape time
+	// (Stats includes a directory walk; the store stays small by budget, so
+	// scraping it per family is cheap).
+	if ckpts != nil {
+		snap := func(read func(checkpoint.Stats) float64) func() float64 {
+			return func() float64 { return read(ckpts.Stats()) }
+		}
+		reg.CounterFunc("critloadd_checkpoint_hits_total",
+			"Timing runs that warm-started from a stored checkpoint.", nil,
+			snap(func(s checkpoint.Stats) float64 { return float64(s.Hits) }))
+		reg.CounterFunc("critloadd_checkpoint_misses_total",
+			"Timing runs that found no usable checkpoint and ran cold.", nil,
+			snap(func(s checkpoint.Stats) float64 { return float64(s.Misses) }))
+		reg.CounterFunc("critloadd_checkpoint_saves_total",
+			"Kernel-launch boundaries serialized into the store.", nil,
+			snap(func(s checkpoint.Stats) float64 { return float64(s.Saves) }))
+		reg.CounterFunc("critloadd_checkpoint_evictions_total",
+			"Checkpoint files evicted to stay under the disk budget.", nil,
+			snap(func(s checkpoint.Stats) float64 { return float64(s.Evictions) }))
+		reg.CounterFunc("critloadd_checkpoint_dropped_total",
+			"Corrupt or version-mismatched checkpoint files deleted on read.", nil,
+			snap(func(s checkpoint.Stats) float64 { return float64(s.Dropped) }))
+		reg.CounterFunc("critloadd_checkpoint_cycles_skipped_total",
+			"Simulated cycles inherited from checkpoints instead of re-simulated.", nil,
+			snap(func(s checkpoint.Stats) float64 { return float64(s.CyclesSkipped) }))
+		reg.GaugeFunc("critloadd_checkpoint_files",
+			"Checkpoint files currently on disk.", nil,
+			snap(func(s checkpoint.Stats) float64 { return float64(s.Files) }))
+		reg.GaugeFunc("critloadd_checkpoint_disk_bytes",
+			"Bytes of checkpoint data currently on disk.", nil,
+			snap(func(s checkpoint.Stats) float64 { return float64(s.Bytes) }))
+	}
 
 	// HTTP instrumentation.
 	m.httpInFlight = reg.Gauge("critloadd_http_in_flight",

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 
+	"critload/internal/checkpoint"
 	"critload/internal/experiments"
 	"critload/internal/jobs"
 	"critload/internal/profiler"
@@ -81,6 +82,13 @@ func resultFromRun(spec jobs.Spec, r *experiments.Run) *RunResult {
 // cancelled. Kernel-launch boundaries also emit a progress heartbeat
 // (cycles, warp instructions) onto the job's API snapshot.
 func SimRunner() jobs.Runner {
+	return SimRunnerWith(nil)
+}
+
+// SimRunnerWith is SimRunner backed by an optional checkpoint store: timing
+// specs submitted with ReuseCheckpoints warm-start from the store and save
+// new boundaries into it. A nil store disables checkpoint reuse entirely.
+func SimRunnerWith(ckpts *checkpoint.Store) jobs.Runner {
 	return func(ctx context.Context, spec jobs.Spec) (any, error) {
 		opts := experiments.Options{
 			Size:         spec.Size,
@@ -91,6 +99,9 @@ func SimRunner() jobs.Runner {
 			Progress: func(cycles int64, warpInsts uint64) {
 				jobs.ReportProgress(ctx, cycles, warpInsts)
 			},
+		}
+		if spec.ReuseCheckpoints && spec.Mode == jobs.ModeTiming {
+			opts.Checkpoints = ckpts
 		}
 		var (
 			r   *experiments.Run

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"critload/internal/checkpoint"
 	"critload/internal/dataflow"
 	"critload/internal/jobs"
 	"critload/internal/obsv"
@@ -43,6 +44,7 @@ type Server struct {
 	handler http.Handler
 	log     *slog.Logger
 	metrics *metricsSet
+	ckpts   *checkpoint.Store
 	start   time.Time
 }
 
@@ -59,6 +61,12 @@ func WithLogger(l *slog.Logger) Option {
 	}
 }
 
+// WithCheckpoints exposes a checkpoint store's effectiveness counters on
+// /metrics (critloadd_checkpoint_*). Pass the same store the runner uses.
+func WithCheckpoints(st *checkpoint.Store) Option {
+	return func(s *Server) { s.ckpts = st }
+}
+
 // New wires the API around a job manager. It installs itself as the
 // manager's execution observer to feed the job wall-time histograms.
 func New(mgr *jobs.Manager, opts ...Option) *Server {
@@ -66,7 +74,7 @@ func New(mgr *jobs.Manager, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.metrics = newMetricsSet(mgr, s.start)
+	s.metrics = newMetricsSet(mgr, s.ckpts, s.start)
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -210,6 +218,10 @@ type jobRequest struct {
 	MaxWarpInsts  uint64 `json:"max_warp_insts"`
 	MaxCycles     int64  `json:"max_cycles"`
 	TimeoutMillis int64  `json:"timeout_ms"`
+	// ReuseCheckpoints opts a timing job into the daemon's checkpoint store
+	// (ignored when critloadd runs without one). Results are byte-identical
+	// either way; only wall time changes.
+	ReuseCheckpoints bool `json:"reuse_checkpoints"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -225,13 +237,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := jobs.Spec{
-		Workload:     req.Workload,
-		Mode:         jobs.Mode(req.Mode),
-		Size:         req.Size,
-		Seed:         req.Seed,
-		MaxWarpInsts: req.MaxWarpInsts,
-		MaxCycles:    req.MaxCycles,
-		Timeout:      time.Duration(req.TimeoutMillis) * time.Millisecond,
+		Workload:         req.Workload,
+		Mode:             jobs.Mode(req.Mode),
+		Size:             req.Size,
+		Seed:             req.Seed,
+		MaxWarpInsts:     req.MaxWarpInsts,
+		MaxCycles:        req.MaxCycles,
+		Timeout:          time.Duration(req.TimeoutMillis) * time.Millisecond,
+		ReuseCheckpoints: req.ReuseCheckpoints,
 	}
 	info, err := s.mgr.Submit(spec)
 	switch {

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"sort"
+
+	"critload/internal/checkpoint"
+)
+
+// snapTag marks the collector section of a checkpoint payload.
+const snapTag = 0x53544154 // "STAT"
+
+// Snapshot serializes every statistic — exported counters, the per-PC map,
+// and the unexported block-access map — so a restored collector is
+// reflect.DeepEqual-identical to the original, which is exactly what the
+// difftest oracles compare. All maps are written in sorted key order (the
+// store is content-addressed) and the lazily-allocated per-block CTA set
+// encodes its nil-versus-allocated state explicitly.
+func (c *Collector) Snapshot(w *checkpoint.Writer) {
+	w.Tag(snapTag)
+	w.U64(c.WarpInsts)
+	w.U64(c.ThreadInsts)
+	w.U64(c.SLoadWarps)
+	w.U64(c.GStoreWarps)
+	w.U64(c.Prefetches)
+	w.U64(c.SMCycles)
+	w.I64(c.GPUCycles)
+	w.U64(c.BlockLoadReqs)
+	for cat := 0; cat < int(NumCats); cat++ {
+		w.U64(c.GLoadWarps[cat])
+		w.U64(c.GLoadThreads[cat])
+		w.U64(c.Requests[cat])
+		w.U64(c.L1Acc[cat])
+		w.U64(c.L1Miss[cat])
+		w.U64(c.L2Acc[cat])
+		w.U64(c.L2Miss[cat])
+		for o := range c.L1Outcomes[cat] {
+			w.U64(c.L1Outcomes[cat][o])
+		}
+		t := &c.Turnaround[cat]
+		w.U64(t.Ops)
+		w.I64(t.Total)
+		w.I64(t.Unloaded)
+		w.I64(t.RsrvPrev)
+		w.I64(t.RsrvCurr)
+		w.I64(t.MemSystem)
+	}
+	for u := range c.UnitBusy {
+		w.U64(c.UnitBusy[u])
+	}
+	for s := range c.L2SliceQueries {
+		w.U64(c.L2SliceQueries[s])
+		w.U64(c.L2SliceHits[s])
+	}
+
+	pcKeys := make([]PCKey, 0, len(c.PerPC))
+	for k := range c.PerPC {
+		pcKeys = append(pcKeys, k)
+	}
+	sort.Slice(pcKeys, func(i, j int) bool {
+		if pcKeys[i].Kernel != pcKeys[j].Kernel {
+			return pcKeys[i].Kernel < pcKeys[j].Kernel
+		}
+		return pcKeys[i].PC < pcKeys[j].PC
+	})
+	w.Int(len(pcKeys))
+	for _, k := range pcKeys {
+		p := c.PerPC[k]
+		w.Str(k.Kernel)
+		w.U32(k.PC)
+		w.Bool(p.NonDet)
+		nreqs := make([]int, 0, len(p.ByNReq))
+		for n := range p.ByNReq {
+			nreqs = append(nreqs, n)
+		}
+		sort.Ints(nreqs)
+		w.Int(len(nreqs))
+		for _, n := range nreqs {
+			g := p.ByNReq[n]
+			w.Int(n)
+			w.U64(g.Ops)
+			w.I64(g.Total)
+			w.I64(g.Common)
+			w.I64(g.GapL1D)
+			w.I64(g.GapIcntL2)
+			w.I64(g.GapL2Icnt)
+		}
+	}
+
+	blockAddrs := make([]uint32, 0, len(c.blocks))
+	for a := range c.blocks {
+		blockAddrs = append(blockAddrs, a)
+	}
+	sort.Slice(blockAddrs, func(i, j int) bool { return blockAddrs[i] < blockAddrs[j] })
+	w.Int(len(blockAddrs))
+	for _, a := range blockAddrs {
+		b := c.blocks[a]
+		w.U32(a)
+		w.U64(b.count)
+		w.I32(b.firstW)
+		w.I32(b.lastW)
+		w.U64(b.nonDetN)
+		w.Bool(b.ctaSet != nil)
+		if b.ctaSet != nil {
+			ctas := make([]int32, 0, len(b.ctaSet))
+			for id := range b.ctaSet {
+				ctas = append(ctas, id)
+			}
+			sort.Slice(ctas, func(i, j int) bool { return ctas[i] < ctas[j] })
+			w.Int(len(ctas))
+			for _, id := range ctas {
+				w.I32(id)
+			}
+		}
+	}
+
+	writeIntHist(w, c.CTADist)
+	for cat := range c.CTADistCat {
+		writeIntHist(w, c.CTADistCat[cat])
+	}
+}
+
+func writeIntHist(w *checkpoint.Writer, h map[int]uint64) {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.Int(k)
+		w.U64(h[k])
+	}
+}
+
+func readIntHist(r *checkpoint.Reader, h map[int]uint64) {
+	n := r.Count(16)
+	for i := 0; i < n; i++ {
+		k := r.Int()
+		h[k] = r.U64()
+	}
+}
+
+// Restore replaces the collector's contents with a snapshot. It decodes into
+// a fresh collector first and installs it only on success, so a failed decode
+// leaves the receiver unchanged.
+func (c *Collector) Restore(r *checkpoint.Reader) error {
+	nc := New()
+	r.Tag(snapTag)
+	nc.WarpInsts = r.U64()
+	nc.ThreadInsts = r.U64()
+	nc.SLoadWarps = r.U64()
+	nc.GStoreWarps = r.U64()
+	nc.Prefetches = r.U64()
+	nc.SMCycles = r.U64()
+	nc.GPUCycles = r.I64()
+	nc.BlockLoadReqs = r.U64()
+	for cat := 0; cat < int(NumCats); cat++ {
+		nc.GLoadWarps[cat] = r.U64()
+		nc.GLoadThreads[cat] = r.U64()
+		nc.Requests[cat] = r.U64()
+		nc.L1Acc[cat] = r.U64()
+		nc.L1Miss[cat] = r.U64()
+		nc.L2Acc[cat] = r.U64()
+		nc.L2Miss[cat] = r.U64()
+		for o := range nc.L1Outcomes[cat] {
+			nc.L1Outcomes[cat][o] = r.U64()
+		}
+		t := &nc.Turnaround[cat]
+		t.Ops = r.U64()
+		t.Total = r.I64()
+		t.Unloaded = r.I64()
+		t.RsrvPrev = r.I64()
+		t.RsrvCurr = r.I64()
+		t.MemSystem = r.I64()
+	}
+	for u := range nc.UnitBusy {
+		nc.UnitBusy[u] = r.U64()
+	}
+	for s := range nc.L2SliceQueries {
+		nc.L2SliceQueries[s] = r.U64()
+		nc.L2SliceHits[s] = r.U64()
+	}
+
+	nPC := r.Count(8)
+	for i := 0; i < nPC; i++ {
+		key := PCKey{Kernel: r.Str(), PC: r.U32()}
+		p := &PCStats{Key: key, NonDet: r.Bool(), ByNReq: map[int]*GapAgg{}}
+		nBuckets := r.Count(8 * 7)
+		for j := 0; j < nBuckets; j++ {
+			nreq := r.Int()
+			g := &GapAgg{
+				Ops: r.U64(), Total: r.I64(), Common: r.I64(),
+				GapL1D: r.I64(), GapIcntL2: r.I64(), GapL2Icnt: r.I64(),
+			}
+			p.ByNReq[nreq] = g
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		nc.PerPC[key] = p
+	}
+
+	nBlocks := r.Count(4 + 8 + 4 + 4 + 8 + 1)
+	for i := 0; i < nBlocks; i++ {
+		addr := r.U32()
+		b := &blockInfo{
+			count:  r.U64(),
+			firstW: r.I32(),
+			lastW:  r.I32(),
+		}
+		b.nonDetN = r.U64()
+		if r.Bool() {
+			nCTAs := r.Count(4)
+			b.ctaSet = make(map[int32]struct{}, nCTAs)
+			for j := 0; j < nCTAs; j++ {
+				b.ctaSet[r.I32()] = struct{}{}
+			}
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		nc.blocks[addr] = b
+	}
+
+	readIntHist(r, nc.CTADist)
+	for cat := range nc.CTADistCat {
+		readIntHist(r, nc.CTADistCat[cat])
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	*c = *nc
+	return nil
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"critload/internal/checkpoint"
+)
+
+func snapBytes(c *Collector) []byte {
+	w := checkpoint.NewWriter()
+	c.Snapshot(w)
+	return w.Bytes()
+}
+
+// populatedCollector builds a collector exercising every serialized field:
+// scalar counters, per-category arrays, the per-PC gap map, block-access
+// records with and without the lazily-allocated CTA set, and the histograms.
+func populatedCollector() *Collector {
+	c := New()
+	c.WarpInsts = 10
+	c.ThreadInsts = 320
+	c.SLoadWarps = 2
+	c.GStoreWarps = 3
+	c.Prefetches = 1
+	c.SMCycles = 4000
+	c.GPUCycles = 900
+	c.BlockLoadReqs = 40
+	c.GLoadWarps[Det] = 4
+	c.GLoadWarps[NonDet] = 2
+	c.GLoadThreads[NonDet] = 64
+	c.Requests[Det] = 8
+	c.L1Acc[Det] = 8
+	c.L1Miss[Det] = 3
+	c.L2Acc[NonDet] = 5
+	c.L2Miss[NonDet] = 1
+	c.L1Outcomes[Det][0] = 6
+	c.L1Outcomes[NonDet][1] = 2
+	c.Turnaround[NonDet] = TurnaroundAgg{Ops: 2, Total: 500, Unloaded: 300, RsrvPrev: 40, RsrvCurr: 60, MemSystem: 100}
+	c.UnitBusy[0] = 77
+	c.L2SliceQueries[1] = 9
+	c.L2SliceHits[1] = 4
+
+	key := PCKey{Kernel: "k", PC: 16}
+	c.PerPC[key] = &PCStats{
+		Key:    key,
+		NonDet: true,
+		ByNReq: map[int]*GapAgg{
+			1: {Ops: 2, Total: 10, Common: 4, GapL1D: 1, GapIcntL2: 2, GapL2Icnt: 3},
+			4: {Ops: 1, Total: 30, Common: 8},
+		},
+	}
+
+	c.blocks[128] = &blockInfo{count: 3, firstW: 1, lastW: 5, nonDetN: 2,
+		ctaSet: map[int32]struct{}{0: {}, 3: {}}}
+	c.blocks[256] = &blockInfo{count: 1, firstW: 2, lastW: 2} // nil ctaSet
+
+	c.CTADist[1] = 4
+	c.CTADist[3] = 1
+	c.CTADistCat[NonDet][2] = 1
+	return c
+}
+
+// TestSnapshotRoundTrip checks the collector's own contract: a restored
+// collector is reflect.DeepEqual-identical to the original and re-serializes
+// byte for byte.
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := populatedCollector()
+	b1 := snapBytes(src)
+
+	dst := New()
+	if err := dst.Restore(checkpoint.NewReader(b1)); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !reflect.DeepEqual(src, dst) {
+		t.Fatalf("restored collector differs:\nsrc %+v\ndst %+v", src, dst)
+	}
+	if b2 := snapBytes(dst); !bytes.Equal(b1, b2) {
+		t.Fatalf("re-snapshot differs: %d vs %d bytes", len(b1), len(b2))
+	}
+}
+
+// TestRestoreLeavesCollectorUnchangedOnError checks the decode-then-install
+// contract: a truncated payload leaves the receiver exactly as it was.
+func TestRestoreLeavesCollectorUnchangedOnError(t *testing.T) {
+	good := snapBytes(populatedCollector())
+	for _, cut := range []int{4, len(good) / 2, len(good) - 3} {
+		dst := populatedCollector()
+		before := snapBytes(dst)
+		if err := dst.Restore(checkpoint.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncated payload (%d bytes) accepted", cut)
+		}
+		if !bytes.Equal(before, snapBytes(dst)) {
+			t.Fatalf("failed restore at %d bytes mutated the collector", cut)
+		}
+	}
+}

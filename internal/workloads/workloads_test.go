@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"fmt"
 	"testing"
 
 	"critload/internal/dataflow"
@@ -37,6 +38,42 @@ func TestAllWorkloadsFunctionallyCorrect(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			inst := setupSmall(t, name)
+			exec := FunctionalExecutor(inst.Mem, nil, 0)
+			if err := inst.Run(exec); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := inst.Verify(); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+		})
+	}
+}
+
+// TestMemoryBoundSizeVariants verifies the 4x/8x inputs behind the
+// long-run rows of BENCH_sim.json: the memory-bound generators must scale
+// to these sizes and still pass their CPU reference checks. grm/384 (the
+// 8x point, ~25s functionally) is left to cmd/bench, which verifies the
+// run via engine agreement.
+func TestMemoryBoundSizeVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		size int
+	}{{"spmv", 256}, {"spmv", 512}, {"grm", 192}}
+	for _, v := range variants {
+		v := v
+		t.Run(fmt.Sprintf("%s-%d", v.name, v.size), func(t *testing.T) {
+			if testing.Short() && v.name == "grm" {
+				t.Skip("multi-second functional run")
+			}
+			t.Parallel()
+			w, ok := Get(v.name)
+			if !ok {
+				t.Fatalf("workload %q not registered", v.name)
+			}
+			inst, err := w.Setup(Params{Size: v.size, Seed: 1})
+			if err != nil {
+				t.Fatalf("Setup(%s, %d): %v", v.name, v.size, err)
+			}
 			exec := FunctionalExecutor(inst.Mem, nil, 0)
 			if err := inst.Run(exec); err != nil {
 				t.Fatalf("Run: %v", err)

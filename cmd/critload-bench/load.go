@@ -1,0 +1,350 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"critload/internal/jobs"
+	"critload/internal/server"
+	"critload/pkg/client"
+)
+
+// Operation names. These are the soak's logical ops, not the client's
+// wire-level op names: one "simulate" spans a job submit plus its polls.
+const (
+	opClassify = "classify"
+	opBatch    = "classify_batch"
+	opSimulate = "simulate"
+)
+
+// soakOps is the canonical op order for reports.
+var soakOps = []string{opClassify, opBatch, opSimulate}
+
+// linKernel is the classify payload: the canonical single-kernel linear
+// indexing example used across the repo's tests — small enough that a soak
+// measures HTTP and classification overhead, not parsing bulk.
+const linKernel = `
+.kernel lin
+.param .u32 a
+    mov.u32      %r0, %ctaid.x;
+    mov.u32      %r1, %ntid.x;
+    mad.u32      %r2, %r0, %r1, %tid.x;
+    ld.param.u32 %r3, [a];
+    shl.u32      %r4, %r2, 2;
+    add.u32      %r5, %r3, %r4;
+    ld.global.u32 %r6, [%r5];
+    exit;
+`
+
+// gatherKernel is a second classify payload with an indirect (data-dependent)
+// load, so batches exercise both classification outcomes.
+const gatherKernel = `
+.kernel gather
+.param .u32 idx
+.param .u32 data
+    mov.u32      %r0, %ctaid.x;
+    mov.u32      %r1, %ntid.x;
+    mad.u32      %r2, %r0, %r1, %tid.x;
+    ld.param.u32 %r3, [idx];
+    shl.u32      %r4, %r2, 2;
+    add.u32      %r5, %r3, %r4;
+    ld.global.u32 %r6, [%r5];
+    ld.param.u32 %r7, [data];
+    shl.u32      %r8, %r6, 2;
+    add.u32      %r9, %r7, %r8;
+    ld.global.u32 %r10, [%r9];
+    exit;
+`
+
+// simSeedCycle is how many distinct simulate specs each worker rotates
+// through. Small enough that the daemon's result cache converges, so the
+// simulate op measures the submit/poll/cache path at soak rates rather
+// than queueing thousands of distinct simulations.
+const simSeedCycle = 8
+
+// mix is the operation mix by weight. Weights need not sum to 1; picks are
+// proportional.
+type mix struct {
+	Classify float64 `json:"classify"`
+	Batch    float64 `json:"batch"`
+	Simulate float64 `json:"simulate"`
+}
+
+// parseMix parses "classify=0.6,batch=0.3,simulate=0.1". Omitted ops get
+// weight 0; unknown ops, negative weights and an all-zero mix are errors.
+func parseMix(s string) (mix, error) {
+	var m mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("mix entry %q is not name=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return m, fmt.Errorf("mix weight in %q: %v", part, err)
+		}
+		if w < 0 {
+			return m, fmt.Errorf("mix weight in %q is negative", part)
+		}
+		switch strings.TrimSpace(name) {
+		case "classify":
+			m.Classify = w
+		case "batch":
+			m.Batch = w
+		case "simulate":
+			m.Simulate = w
+		default:
+			return m, fmt.Errorf("unknown mix op %q (want classify, batch or simulate)", name)
+		}
+	}
+	if m.Classify+m.Batch+m.Simulate <= 0 {
+		return m, errors.New("mix has no positive weights")
+	}
+	return m, nil
+}
+
+// pick selects one op proportionally to the mix weights.
+func (m mix) pick(r *rand.Rand) string {
+	x := r.Float64() * (m.Classify + m.Batch + m.Simulate)
+	switch {
+	case x < m.Classify:
+		return opClassify
+	case x < m.Classify+m.Batch:
+		return opBatch
+	default:
+		return opSimulate
+	}
+}
+
+// loadConfig shapes one soak run.
+type loadConfig struct {
+	Workers     int
+	Duration    time.Duration
+	Mix         mix
+	BatchSize   int
+	SimWorkload string
+	SimSize     int
+	Seed        int64
+	ReportEvery time.Duration
+}
+
+// opCounter is one op's live counters, shared across workers.
+type opCounter struct {
+	count  atomic.Int64
+	errors atomic.Int64
+}
+
+// runner drives cfg.Workers goroutines against one shared client.
+type runner struct {
+	cfg    loadConfig
+	client *client.Client
+	log    io.Writer
+	counts map[string]*opCounter
+}
+
+func newRunner(cfg loadConfig, c *client.Client, log io.Writer) *runner {
+	counts := make(map[string]*opCounter, len(soakOps))
+	for _, op := range soakOps {
+		counts[op] = &opCounter{}
+	}
+	return &runner{cfg: cfg, client: c, log: log, counts: counts}
+}
+
+// run soaks for cfg.Duration and returns the merged report.
+func (r *runner) run(ctx context.Context) (*soakReport, error) {
+	soakCtx, cancel := context.WithTimeout(ctx, r.cfg.Duration)
+	defer cancel()
+
+	reportDone := make(chan struct{})
+	if r.cfg.ReportEvery > 0 {
+		go func() {
+			defer close(reportDone)
+			r.reportLoop(soakCtx)
+		}()
+	} else {
+		close(reportDone)
+	}
+
+	start := time.Now()
+	results := make(chan map[string][]float64, r.cfg.Workers)
+	for i := 0; i < r.cfg.Workers; i++ {
+		go r.worker(soakCtx, i, results)
+	}
+	merged := make(map[string][]float64, len(soakOps))
+	for i := 0; i < r.cfg.Workers; i++ {
+		for op, samples := range <-results {
+			merged[op] = append(merged[op], samples...)
+		}
+	}
+	elapsed := time.Since(start)
+	cancel()
+	<-reportDone
+	return r.report(merged, elapsed), nil
+}
+
+// worker loops op picks until the soak context expires, accumulating its
+// latency samples locally (no cross-worker contention on the hot path).
+func (r *runner) worker(ctx context.Context, id int, out chan<- map[string][]float64) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(id)*9973))
+	samples := make(map[string][]float64, len(soakOps))
+	for n := 0; ; n++ {
+		if ctx.Err() != nil {
+			break
+		}
+		op := r.cfg.Mix.pick(rng)
+		start := time.Now()
+		err := r.doOp(ctx, op, n)
+		if err != nil && ctx.Err() != nil {
+			// The soak deadline tore this op mid-flight; that is shutdown,
+			// not a server failure — don't count it either way.
+			break
+		}
+		c := r.counts[op]
+		c.count.Add(1)
+		if err != nil {
+			c.errors.Add(1)
+		}
+		samples[op] = append(samples[op], time.Since(start).Seconds())
+	}
+	out <- samples
+}
+
+func (r *runner) doOp(ctx context.Context, op string, n int) error {
+	switch op {
+	case opClassify:
+		_, err := r.client.Classify(ctx, linKernel)
+		return err
+	case opBatch:
+		items := make([]client.BatchItem, r.cfg.BatchSize)
+		for i := range items {
+			src := linKernel
+			if i%2 == 1 {
+				src = gatherKernel
+			}
+			items[i] = client.BatchItem{PTX: src}
+		}
+		res, err := r.client.ClassifyBatch(ctx, items)
+		if err != nil {
+			return err
+		}
+		if res.Failed > 0 {
+			return fmt.Errorf("batch: %d/%d items failed", res.Failed, len(items))
+		}
+		return nil
+	case opSimulate:
+		job, err := r.client.RunJob(ctx, client.JobSpec{
+			Workload: r.cfg.SimWorkload,
+			Mode:     "functional",
+			Size:     r.cfg.SimSize,
+			Seed:     r.cfg.Seed + int64(n%simSeedCycle),
+		})
+		if err != nil {
+			return err
+		}
+		return job.Err()
+	}
+	return fmt.Errorf("unknown op %q", op)
+}
+
+// reportLoop prints a live SLO line every ReportEvery: interval QPS, the
+// cumulative error rate, and the classify hot path's running p50/p99.
+func (r *runner) reportLoop(ctx context.Context) {
+	t := time.NewTicker(r.cfg.ReportEvery)
+	defer t.Stop()
+	start := time.Now()
+	var last int64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		var total, errs int64
+		for _, c := range r.counts {
+			total += c.count.Load()
+			errs += c.errors.Load()
+		}
+		qps := float64(total-last) / r.cfg.ReportEvery.Seconds()
+		last = total
+		errRate := 0.0
+		if total > 0 {
+			errRate = float64(errs) / float64(total)
+		}
+		cl := r.client.Stats()[opClassify]
+		fmt.Fprintf(r.log, "soak: t=%3.0fs qps=%7.0f err=%.2f%% classify p50=%.2fms p99=%.2fms breaker=%s\n",
+			time.Since(start).Seconds(), qps, 100*errRate, cl.P50Millis, cl.P99Millis,
+			r.client.BreakerState())
+	}
+}
+
+// startLocalDaemon brings up a real critloadd API server on a loopback
+// port, optionally wrapped in a fault injector, and returns its base URL
+// and a shutdown func.
+func startLocalDaemon(workers int, latency time.Duration, errRate float64, seed int64) (string, func(), error) {
+	mgr, err := jobs.NewManager(jobs.Config{Workers: workers, Runner: server.SimRunner()})
+	if err != nil {
+		return "", nil, err
+	}
+	var h http.Handler = server.New(mgr)
+	if latency > 0 || errRate > 0 {
+		h = &faultInjector{next: h, latency: latency, rate: errRate,
+			rng: rand.New(rand.NewSource(seed))}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	shutdown := func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Close(ctx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// faultInjector adds fixed latency and a fraction of injected 503s in
+// front of the daemon, so a soak can exercise the client's retry, backoff
+// and breaker machinery against a server that is actually misbehaving.
+type faultInjector struct {
+	next    http.Handler
+	latency time.Duration
+	rate    float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (f *faultInjector) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if f.latency > 0 {
+		time.Sleep(f.latency)
+	}
+	if f.rate > 0 {
+		f.mu.Lock()
+		roll := f.rng.Float64()
+		f.mu.Unlock()
+		if roll < f.rate {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":"injected fault"}`)
+			return
+		}
+	}
+	f.next.ServeHTTP(w, req)
+}

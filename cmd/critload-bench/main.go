@@ -1,0 +1,180 @@
+// Command critload-bench soaks a critloadd daemon through the native
+// client (pkg/client): N workers drive a configurable mix of classify,
+// batch-classify and simulate operations for a fixed duration, with
+// optional injected latency and error faults, and report the sustained
+// QPS, exact latency quantiles and error rate per operation.
+//
+// With no -addr it spins up an in-process daemon on a loopback port, so
+// the numbers measure the full HTTP stack (client pool, server, JSON)
+// without network noise — that is the tracked BENCH_soak.json baseline.
+//
+// Usage:
+//
+//	critload-bench                          # 10s soak, write BENCH_soak.json
+//	critload-bench -addr localhost:8321     # soak a running daemon instead
+//	critload-bench -workers 16 -duration 30s
+//	critload-bench -mix classify=1          # single-op soak
+//	critload-bench -inject-errors 0.05      # 5% injected 503s (in-process
+//	                                        # only) to exercise client retry
+//	critload-bench -check -duration 5s      # compare a fresh soak against the
+//	                                        # committed baseline: exit 1 if any
+//	                                        # op's QPS regressed more than
+//	                                        # -check-tolerance or the error
+//	                                        # rate exceeds -max-error-rate
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"critload/pkg/client"
+)
+
+func main() {
+	addr := flag.String("addr", "",
+		"daemon address to soak (empty = start an in-process daemon)")
+	workers := flag.Int("workers", 8, "concurrent load workers")
+	duration := flag.Duration("duration", 10*time.Second, "soak duration")
+	mixSpec := flag.String("mix", "classify=0.6,batch=0.3,simulate=0.1",
+		"operation mix as weight pairs (classify, batch, simulate)")
+	batchSize := flag.Int("batch-size", 16, "kernels per batch-classify request")
+	simWorkload := flag.String("sim-workload", "2mm", "workload for simulate ops")
+	simSize := flag.Int("sim-size", 32, "input size for simulate ops")
+	seed := flag.Int64("seed", 1, "base seed for op selection and simulate jobs")
+	daemonWorkers := flag.Int("daemon-workers", 0,
+		"in-process daemon pool size (0 = one per CPU; ignored with -addr)")
+	injectLatency := flag.Duration("inject-latency", 0,
+		"added per-request latency in the in-process daemon (ignored with -addr)")
+	injectErrors := flag.Float64("inject-errors", 0,
+		"fraction of in-process daemon requests answered 503 (ignored with -addr)")
+	reportEvery := flag.Duration("report-interval", 2*time.Second,
+		"live report interval (0 disables)")
+	out := flag.String("o", "BENCH_soak.json",
+		"output path for the baseline (or the committed baseline with -check)")
+	doCheck := flag.Bool("check", false,
+		"compare against the committed baseline instead of writing")
+	tolerance := flag.Float64("check-tolerance", 0.5,
+		"allowed fractional per-op QPS regression under -check")
+	maxErrorRate := flag.Float64("max-error-rate", 0.01,
+		"overall error-rate ceiling under -check")
+	flag.Parse()
+
+	if err := run(options{
+		addr: *addr, workers: *workers, duration: *duration, mixSpec: *mixSpec,
+		batchSize: *batchSize, simWorkload: *simWorkload, simSize: *simSize,
+		seed: *seed, daemonWorkers: *daemonWorkers,
+		injectLatency: *injectLatency, injectErrors: *injectErrors,
+		reportEvery: *reportEvery, out: *out,
+		check: *doCheck, tolerance: *tolerance, maxErrorRate: *maxErrorRate,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "critload-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr          string
+	workers       int
+	duration      time.Duration
+	mixSpec       string
+	batchSize     int
+	simWorkload   string
+	simSize       int
+	seed          int64
+	daemonWorkers int
+	injectLatency time.Duration
+	injectErrors  float64
+	reportEvery   time.Duration
+	out           string
+	check         bool
+	tolerance     float64
+	maxErrorRate  float64
+}
+
+func run(o options) error {
+	var committed *soakReport
+	if o.check {
+		buf, err := os.ReadFile(o.out)
+		if err != nil {
+			return fmt.Errorf("reading committed baseline: %w", err)
+		}
+		committed = &soakReport{}
+		if err := json.Unmarshal(buf, committed); err != nil {
+			return fmt.Errorf("parsing committed baseline %s: %w", o.out, err)
+		}
+		if committed.Schema != soakSchema {
+			return fmt.Errorf("committed baseline %s has schema %q, want %q",
+				o.out, committed.Schema, soakSchema)
+		}
+		// Measure what the baseline measured: adopt its shape, keeping only
+		// the caller's (usually shorter) duration. QPS is a rate, so a short
+		// run compares fairly against a long one.
+		o.workers = committed.Workers
+		o.batchSize = committed.BatchSize
+		o.simWorkload = committed.SimWorkload
+		o.simSize = committed.SimSize
+		o.seed = committed.Seed
+		o.injectLatency = time.Duration(committed.InjectedLatencyMillis) * time.Millisecond
+		o.injectErrors = committed.InjectedErrorRate
+		o.mixSpec = fmt.Sprintf("classify=%g,batch=%g,simulate=%g",
+			committed.Mix.Classify, committed.Mix.Batch, committed.Mix.Simulate)
+		fmt.Fprintf(os.Stderr, "soak-check: adopting committed shape: %d workers, mix %s, batch %d, sim %s/%d\n",
+			o.workers, o.mixSpec, o.batchSize, o.simWorkload, o.simSize)
+	}
+
+	m, err := parseMix(o.mixSpec)
+	if err != nil {
+		return err
+	}
+	if o.workers <= 0 {
+		return fmt.Errorf("workers must be positive, got %d", o.workers)
+	}
+	if o.duration <= 0 {
+		return fmt.Errorf("duration must be positive, got %v", o.duration)
+	}
+
+	baseURL := o.addr
+	if baseURL == "" {
+		url, shutdown, err := startLocalDaemon(o.daemonWorkers, o.injectLatency, o.injectErrors, o.seed)
+		if err != nil {
+			return fmt.Errorf("starting in-process daemon: %w", err)
+		}
+		defer shutdown()
+		baseURL = url
+	} else if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+
+	c, err := client.New(client.Config{BaseURL: baseURL})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	r := newRunner(loadConfig{
+		Workers: o.workers, Duration: o.duration, Mix: m, BatchSize: o.batchSize,
+		SimWorkload: o.simWorkload, SimSize: o.simSize, Seed: o.seed,
+		ReportEvery: o.reportEvery,
+	}, c, os.Stderr)
+	rep, err := r.run(context.Background())
+	if err != nil {
+		return err
+	}
+	rep.InjectedLatencyMillis = o.injectLatency.Milliseconds()
+	rep.InjectedErrorRate = o.injectErrors
+	printSummary(os.Stderr, rep)
+
+	if o.check {
+		return checkAgainst(committed, rep, o.tolerance, o.maxErrorRate, os.Stderr)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(o.out, append(buf, '\n'), 0o644)
+}

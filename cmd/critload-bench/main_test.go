@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"critload/pkg/client"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("classify=0.6,batch=0.3,simulate=0.1")
+	if err != nil {
+		t.Fatalf("parseMix: %v", err)
+	}
+	if m.Classify != 0.6 || m.Batch != 0.3 || m.Simulate != 0.1 {
+		t.Fatalf("parseMix = %+v", m)
+	}
+
+	m, err = parseMix("classify=1")
+	if err != nil {
+		t.Fatalf("single-op mix: %v", err)
+	}
+	if m.Classify != 1 || m.Batch != 0 || m.Simulate != 0 {
+		t.Fatalf("single-op mix = %+v", m)
+	}
+
+	for _, bad := range []string{
+		"",             // no weights at all
+		"classify=0",   // all-zero
+		"classify=-1",  // negative
+		"classify",     // not name=weight
+		"classify=x",   // non-numeric
+		"frobnicate=1", // unknown op
+		"classify=0,batch=0,simulate=0",
+	} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMixPickProportions(t *testing.T) {
+	m := mix{Classify: 0.5, Batch: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[m.pick(rng)]++
+	}
+	if counts[opSimulate] != 0 {
+		t.Fatalf("zero-weight op picked %d times", counts[opSimulate])
+	}
+	if counts[opClassify] < 4500 || counts[opClassify] > 5500 {
+		t.Fatalf("50%% op picked %d/10000 times", counts[opClassify])
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median of 1..5 = %v, want 3", q)
+	}
+	if q := quantile(xs, 1); q != 5 {
+		t.Fatalf("p100 = %v, want 5", q)
+	}
+	if q := quantile(xs, 0.25); q != 2 {
+		t.Fatalf("p25 = %v, want 2", q)
+	}
+}
+
+func reportWith(qps map[string]float64, errRate float64) *soakReport {
+	rep := &soakReport{Schema: soakSchema, Ops: map[string]opReport{}}
+	for op, q := range qps {
+		rep.Ops[op] = opReport{Count: int64(q * 10), QPS: q}
+	}
+	rep.Total.ErrorRate = errRate
+	return rep
+}
+
+func TestCheckAgainst(t *testing.T) {
+	committed := reportWith(map[string]float64{
+		opClassify: 1000, opBatch: 100, opSimulate: 50,
+	}, 0)
+
+	var buf bytes.Buffer
+	fresh := reportWith(map[string]float64{
+		opClassify: 900, opBatch: 95, opSimulate: 60,
+	}, 0.001)
+	if err := checkAgainst(committed, fresh, 0.5, 0.01, &buf); err != nil {
+		t.Fatalf("within tolerance: %v\n%s", err, buf.String())
+	}
+
+	buf.Reset()
+	slow := reportWith(map[string]float64{
+		opClassify: 400, opBatch: 95, opSimulate: 60,
+	}, 0)
+	if err := checkAgainst(committed, slow, 0.5, 0.01, &buf); err == nil {
+		t.Fatalf("60%% QPS drop passed check:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Fatalf("check output names no regression:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	flaky := reportWith(map[string]float64{
+		opClassify: 1000, opBatch: 100, opSimulate: 50,
+	}, 0.05)
+	if err := checkAgainst(committed, flaky, 0.5, 0.01, &buf); err == nil {
+		t.Fatalf("5%% error rate passed a 1%% ceiling:\n%s", buf.String())
+	}
+
+	// An op missing from the committed file is skipped, not failed.
+	buf.Reset()
+	partial := reportWith(map[string]float64{opClassify: 1000}, 0)
+	if err := checkAgainst(partial, fresh, 0.5, 0.01, &buf); err != nil {
+		t.Fatalf("partial baseline: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "skipped") {
+		t.Fatalf("partial baseline output lacks skip note:\n%s", buf.String())
+	}
+}
+
+// TestSoakSmoke runs the full pipeline briefly — in-process daemon with
+// fault injection, all three ops — and sanity-checks the report.
+func TestSoakSmoke(t *testing.T) {
+	url, shutdown, err := startLocalDaemon(2, time.Millisecond, 0.05, 1)
+	if err != nil {
+		t.Fatalf("startLocalDaemon: %v", err)
+	}
+	defer shutdown()
+
+	c, err := client.New(client.Config{
+		BaseURL:        url,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("client.New: %v", err)
+	}
+	defer c.Close()
+
+	var log bytes.Buffer
+	r := newRunner(loadConfig{
+		Workers:   4,
+		Duration:  500 * time.Millisecond,
+		Mix:       mix{Classify: 0.5, Batch: 0.3, Simulate: 0.2},
+		BatchSize: 4, SimWorkload: "2mm", SimSize: 16, Seed: 1,
+		ReportEvery: 100 * time.Millisecond,
+	}, c, &log)
+	rep, err := r.run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	if rep.Schema != soakSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	for _, op := range soakOps {
+		o, ok := rep.Ops[op]
+		if !ok || o.Count == 0 {
+			t.Fatalf("op %s recorded no completions: %+v", op, rep.Ops)
+		}
+		if o.QPS <= 0 || o.P99Millis < o.P50Millis || o.MaxMillis < o.P99Millis {
+			t.Fatalf("op %s has inconsistent stats: %+v", op, o)
+		}
+	}
+	if rep.Total.QPS <= 0 {
+		t.Fatalf("total QPS = %v", rep.Total.QPS)
+	}
+	// 5% injected 503s must be absorbed by client retries, not surface as
+	// soak errors — that is the whole point of the retry layer.
+	if rep.Total.ErrorRate > 0.01 {
+		t.Fatalf("error rate %.2f%% with retries enabled", 100*rep.Total.ErrorRate)
+	}
+	if !strings.Contains(log.String(), "qps=") {
+		t.Fatalf("no live report lines:\n%s", log.String())
+	}
+
+	var sum bytes.Buffer
+	printSummary(&sum, rep)
+	if !strings.Contains(sum.String(), "classify_batch") {
+		t.Fatalf("summary lacks per-op rows:\n%s", sum.String())
+	}
+}

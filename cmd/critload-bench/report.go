@@ -1,0 +1,171 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// soakSchema versions the BENCH_soak.json shape.
+const soakSchema = "critload/bench_soak/v1"
+
+// opReport is one operation's soak outcome. Quantiles are exact (computed
+// from every recorded sample, not histogram estimates).
+type opReport struct {
+	Count      int64   `json:"count"`
+	Errors     int64   `json:"errors"`
+	Retries    int64   `json:"retries"`
+	QPS        float64 `json:"qps"`
+	ErrorRate  float64 `json:"error_rate"`
+	P50Millis  float64 `json:"p50_millis"`
+	P99Millis  float64 `json:"p99_millis"`
+	MeanMillis float64 `json:"mean_millis"`
+	MaxMillis  float64 `json:"max_millis"`
+}
+
+// soakReport is the full BENCH_soak.json artifact: the soak's shape (so
+// -check can reproduce it) plus per-op and total outcomes.
+type soakReport struct {
+	Schema                string              `json:"schema"`
+	GoVersion             string              `json:"go_version"`
+	Workers               int                 `json:"workers"`
+	DurationSeconds       float64             `json:"duration_seconds"`
+	Mix                   mix                 `json:"mix"`
+	BatchSize             int                 `json:"batch_size"`
+	SimWorkload           string              `json:"sim_workload"`
+	SimSize               int                 `json:"sim_size"`
+	Seed                  int64               `json:"seed"`
+	InjectedLatencyMillis int64               `json:"injected_latency_millis"`
+	InjectedErrorRate     float64             `json:"injected_error_rate"`
+	Ops                   map[string]opReport `json:"ops"`
+	Total                 totalReport         `json:"total"`
+}
+
+type totalReport struct {
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"`
+	QPS       float64 `json:"qps"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// quantile reads the exact p-quantile from a sorted sample slice by linear
+// interpolation between the straddling order statistics.
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(idx)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// clientRetryOps maps each soak op to the client wire ops whose retries it
+// spans: a simulate is one submit plus its long polls.
+var clientRetryOps = map[string][]string{
+	opClassify: {"classify"},
+	opBatch:    {"classify_batch"},
+	opSimulate: {"job_submit", "job_wait"},
+}
+
+// report folds the merged per-worker samples and the shared counters into
+// the final artifact.
+func (r *runner) report(samples map[string][]float64, elapsed time.Duration) *soakReport {
+	rep := &soakReport{
+		Schema:          soakSchema,
+		GoVersion:       runtime.Version(),
+		Workers:         r.cfg.Workers,
+		DurationSeconds: elapsed.Seconds(),
+		Mix:             r.cfg.Mix,
+		BatchSize:       r.cfg.BatchSize,
+		SimWorkload:     r.cfg.SimWorkload,
+		SimSize:         r.cfg.SimSize,
+		Seed:            r.cfg.Seed,
+		Ops:             make(map[string]opReport, len(soakOps)),
+	}
+	clientStats := r.client.Stats()
+	for _, op := range soakOps {
+		c := r.counts[op]
+		o := opReport{Count: c.count.Load(), Errors: c.errors.Load()}
+		if o.Count == 0 {
+			continue
+		}
+		for _, wire := range clientRetryOps[op] {
+			o.Retries += clientStats[wire].Retries
+		}
+		o.QPS = float64(o.Count) / elapsed.Seconds()
+		o.ErrorRate = float64(o.Errors) / float64(o.Count)
+		xs := samples[op]
+		sort.Float64s(xs)
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		if len(xs) > 0 {
+			o.MeanMillis = sum / float64(len(xs)) * 1e3
+			o.MaxMillis = xs[len(xs)-1] * 1e3
+			o.P50Millis = quantile(xs, 0.50) * 1e3
+			o.P99Millis = quantile(xs, 0.99) * 1e3
+		}
+		rep.Ops[op] = o
+		rep.Total.Count += o.Count
+		rep.Total.Errors += o.Errors
+	}
+	rep.Total.QPS = float64(rep.Total.Count) / elapsed.Seconds()
+	if rep.Total.Count > 0 {
+		rep.Total.ErrorRate = float64(rep.Total.Errors) / float64(rep.Total.Count)
+	}
+	return rep
+}
+
+// printSummary writes the human-readable end-of-soak table.
+func printSummary(w io.Writer, rep *soakReport) {
+	fmt.Fprintf(w, "soak: %d workers, %.1fs, %.0f QPS total, %.2f%% errors\n",
+		rep.Workers, rep.DurationSeconds, rep.Total.QPS, 100*rep.Total.ErrorRate)
+	for _, op := range soakOps {
+		o, ok := rep.Ops[op]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "soak: %-14s %8d ops %8.0f QPS  p50 %7.2fms  p99 %7.2fms  max %8.2fms  %d errors  %d retries\n",
+			op, o.Count, o.QPS, o.P50Millis, o.P99Millis, o.MaxMillis, o.Errors, o.Retries)
+	}
+}
+
+// checkAgainst fails when any op present in the committed baseline lost
+// more than tolerance of its QPS, or the fresh overall error rate exceeds
+// maxErrorRate. Ops absent from the committed file are skipped, so -check
+// keeps working across mix changes without a flag day.
+func checkAgainst(committed, fresh *soakReport, tolerance, maxErrorRate float64, w io.Writer) error {
+	failed := false
+	for _, op := range soakOps {
+		want, ok := committed.Ops[op]
+		if !ok || want.QPS <= 0 {
+			fmt.Fprintf(w, "soak-check: %-14s no committed measurement, skipped\n", op)
+			continue
+		}
+		got := fresh.Ops[op]
+		ratio := got.QPS / want.QPS
+		status := "ok"
+		if ratio < 1-tolerance {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(w, "soak-check: %-14s committed %8.0f QPS, now %8.0f QPS (%+.1f%%) %s\n",
+			op, want.QPS, got.QPS, 100*(ratio-1), status)
+	}
+	if fresh.Total.ErrorRate > maxErrorRate {
+		fmt.Fprintf(w, "soak-check: error rate %.2f%% exceeds ceiling %.2f%%\n",
+			100*fresh.Total.ErrorRate, 100*maxErrorRate)
+		failed = true
+	}
+	if failed {
+		return fmt.Errorf("soak regressed more than %.0f%% (or error ceiling breached) vs baseline", 100*tolerance)
+	}
+	return nil
+}

@@ -48,6 +48,8 @@ func main() {
 		"eviction budget in bytes for the on-disk cache directory (0 = unbounded)")
 	grace := flag.Duration("grace", 30*time.Second,
 		"shutdown grace period for draining running jobs")
+	idleTimeout := flag.Duration("idle-timeout", defaultIdleTimeout,
+		"reap keep-alive connections idle this long (0 disables reaping)")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	pprofAddr := flag.String("pprof", "",
@@ -56,14 +58,14 @@ func main() {
 
 	log := obsv.NewLogger(os.Stderr, *logFormat, obsv.ParseLevel(*logLevel))
 	if err := run(log, *addr, *pprofAddr, *cacheDir, *workers, *queue, *cacheEntries,
-		*cacheDiskBytes, *grace); err != nil {
+		*cacheDiskBytes, *grace, *idleTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "critloadd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(log *slog.Logger, addr, pprofAddr, cacheDir string, workers, queue, cacheEntries int,
-	cacheDiskBytes int64, grace time.Duration) error {
+	cacheDiskBytes int64, grace, idleTimeout time.Duration) error {
 	var ckpts *checkpoint.Store
 	if cacheDir != "" {
 		var err error
@@ -83,11 +85,8 @@ func run(log *slog.Logger, addr, pprofAddr, cacheDir string, workers, queue, cac
 		return err
 	}
 
-	httpSrv := &http.Server{
-		Addr:              addr,
-		Handler:           server.New(mgr, server.WithLogger(log), server.WithCheckpoints(ckpts)),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	httpSrv := newAPIServer(addr,
+		server.New(mgr, server.WithLogger(log), server.WithCheckpoints(ckpts)), idleTimeout)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -129,6 +128,37 @@ func run(log *slog.Logger, addr, pprofAddr, cacheDir string, workers, queue, cac
 	}
 	log.Info("drained")
 	return nil
+}
+
+// defaultIdleTimeout reaps keep-alive connections that have sat idle for
+// two minutes. Before it existed, a soak's worth of pooled client
+// connections (or a slow leak of abandoned ones) accumulated unboundedly —
+// each holding a file descriptor and a read buffer for the daemon's
+// lifetime.
+const defaultIdleTimeout = 2 * time.Minute
+
+// newAPIServer builds the public API's http.Server with its timeout
+// policy:
+//
+//   - ReadHeaderTimeout bounds a slow-loris header dribble.
+//   - ReadTimeout bounds reading one full request (headers + the ≤4 MiB
+//     body). It does not bound handler execution: net/http clears the read
+//     deadline once the handler takes over the connection's background
+//     read.
+//   - IdleTimeout reaps parked keep-alive connections between requests.
+//   - WriteTimeout deliberately stays 0: GET /v1/jobs/{id}?wait_ms=N holds
+//     the response open for a caller-chosen long-poll window, and a write
+//     deadline would sever those (and slow multi-minute simulate results)
+//     mid-response. Job wall time is bounded per job via timeout_ms
+//     instead.
+func newAPIServer(addr string, h http.Handler, idleTimeout time.Duration) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       idleTimeout,
+	}
 }
 
 // pprofServer builds the profiling endpoint on its own mux and listener so

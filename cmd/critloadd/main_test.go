@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"critload/internal/jobs"
+	"critload/internal/server"
+)
+
+// startAPIServer serves the real API through newAPIServer (the production
+// timeout policy) on an ephemeral port. A nil runner selects the real
+// simulation runner.
+func startAPIServer(t *testing.T, idleTimeout time.Duration, runner jobs.Runner) string {
+	t.Helper()
+	if runner == nil {
+		runner = server.SimRunner()
+	}
+	mgr, err := jobs.NewManager(jobs.Config{Workers: 1, Runner: runner})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	srv := newAPIServer("", server.New(mgr), idleTimeout)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Close(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// roundTrip performs one HTTP/1.1 keep-alive request on a raw connection
+// and consumes the full response, leaving the connection idle.
+func roundTrip(t *testing.T, conn net.Conn, rd *bufio.Reader, addr string) {
+	t.Helper()
+	req := "GET /healthz HTTP/1.1\r\nHost: " + addr + "\r\n\r\n"
+	if _, err := io.WriteString(conn, req); err != nil {
+		t.Fatalf("writing request: %v", err)
+	}
+	resp, err := http.ReadResponse(rd, nil)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over raw conn = %d / %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz body = %q", body)
+	}
+}
+
+// TestIdleConnectionReaped is the regression test for the unbounded
+// keep-alive accumulation bug: with only ReadHeaderTimeout set, a
+// keep-alive connection that went quiet was held open forever. With
+// IdleTimeout, the server must close it shortly after it goes idle.
+func TestIdleConnectionReaped(t *testing.T) {
+	addr := startAPIServer(t, 200*time.Millisecond, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	roundTrip(t, conn, rd, addr)
+
+	// The connection is now idle. The server owes us a close (EOF on read)
+	// within the idle timeout plus slack.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := rd.ReadByte(); err != io.EOF {
+		t.Fatalf("idle connection read = %v after %v, want EOF (server-side reap)",
+			err, time.Since(start))
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("reap took %v, want within the idle timeout's order", elapsed)
+	}
+}
+
+// TestKeepAliveSurvivesWithinIdleWindow is the counterpart: a connection
+// that keeps making requests inside the idle window is never reaped, so
+// the pool reuse the native client depends on still works.
+func TestKeepAliveSurvivesWithinIdleWindow(t *testing.T) {
+	addr := startAPIServer(t, time.Second, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	for i := 0; i < 5; i++ {
+		roundTrip(t, conn, rd, addr)
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestLongPollOutlivesIdleTimeout pins the WriteTimeout-stays-0 rationale:
+// the idle and read deadlines apply between and while reading requests, not
+// to a handler holding the response open — a long poll several times longer
+// than the idle timeout must complete normally, not be severed. This guards
+// against someone "completing" the timeout set with a WriteTimeout (or
+// misapplying IdleTimeout) and breaking long polls.
+func TestLongPollOutlivesIdleTimeout(t *testing.T) {
+	release := make(chan struct{})
+	runner := func(ctx context.Context, spec jobs.Spec) (any, error) {
+		select {
+		case <-release:
+			return map[string]string{"ok": "true"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	addr := startAPIServer(t, 200*time.Millisecond, runner)
+
+	body := strings.NewReader(`{"workload":"bfs","mode":"functional"}`)
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+
+	// Release the job partway through a 2s long poll — well past the 200ms
+	// idle timeout — and require the poll to deliver the terminal snapshot.
+	go func() {
+		time.Sleep(700 * time.Millisecond)
+		close(release)
+	}()
+	start := time.Now()
+	resp2, err := http.Get("http://" + addr + "/v1/jobs/" + submitted.ID + "?wait_ms=2000")
+	if err != nil {
+		t.Fatalf("long poll severed after %v: %v", time.Since(start), err)
+	}
+	defer resp2.Body.Close()
+	var polled struct {
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&polled); err != nil {
+		t.Fatalf("decode poll: %v", err)
+	}
+	if polled.State != "done" {
+		t.Fatalf("long poll state = %q after %v, want done", polled.State, time.Since(start))
+	}
+}

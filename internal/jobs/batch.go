@@ -1,0 +1,51 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxBatchItems bounds one batch request. The limit exists for the same
+// reason maxRequestBytes does at the HTTP layer: a batch is a latency
+// amortization, not a bulk-import channel, and a bounded batch keeps one
+// request's worth of work proportionate to one scheduling decision.
+const MaxBatchItems = 256
+
+// Batch validation errors.
+var (
+	// ErrBatchEmpty rejects a batch with no items.
+	ErrBatchEmpty = errors.New("jobs: batch has no items")
+	// ErrBatchTooLarge rejects a batch beyond MaxBatchItems.
+	ErrBatchTooLarge = fmt.Errorf("jobs: batch exceeds %d items", MaxBatchItems)
+)
+
+// ValidateBatchSize checks a batch's item count against the shared bounds.
+// Both the server's batch handlers and pkg/client call it, so an oversized
+// batch is rejected before it ever crosses the wire.
+func ValidateBatchSize(n int) error {
+	switch {
+	case n == 0:
+		return ErrBatchEmpty
+	case n > MaxBatchItems:
+		return ErrBatchTooLarge
+	}
+	return nil
+}
+
+// ValidateBatchIDs checks client-supplied item identifiers: IDs are
+// optional (responses preserve request order, so position suffices), but a
+// non-empty ID must be unique within the batch — duplicate IDs would make
+// per-item results ambiguous to correlate.
+func ValidateBatchIDs(ids []string) error {
+	seen := make(map[string]struct{}, len(ids))
+	for i, id := range ids {
+		if id == "" {
+			continue
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("jobs: duplicate batch item id %q (item %d)", id, i)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
+}

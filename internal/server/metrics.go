@@ -20,6 +20,7 @@ var jobWallBuckets = []float64{.01, .05, .1, .5, 1, 5, 10, 30, 60, 120, 300}
 // raw paths never become label values, so cardinality stays fixed.
 var endpoints = []string{
 	"/v1/classify",
+	"/v1/classify/batch",
 	"/v1/jobs",
 	"/v1/jobs/{id}",
 	"/v1/workloads",
@@ -34,13 +35,17 @@ func endpointLabel(r *http.Request) string {
 	switch {
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		return "/v1/jobs/{id}"
-	case p == "/v1/classify", p == "/v1/jobs", p == "/v1/workloads",
-		p == "/healthz", p == "/metrics":
+	case p == "/v1/classify", p == "/v1/classify/batch", p == "/v1/jobs",
+		p == "/v1/workloads", p == "/healthz", p == "/metrics":
 		return p
 	default:
 		return "other"
 	}
 }
+
+// batchSizeBuckets covers batch classify request sizes, from singletons up
+// to the jobs.MaxBatchItems ceiling.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // metricsSet owns the server's registry: the job manager's counters exported
 // as scrape-time functions, HTTP request instrumentation (in-flight gauge,
@@ -53,6 +58,10 @@ type metricsSet struct {
 	httpPanics   *obsv.Counter
 	latency      map[string]*obsv.Histogram // per endpoint
 	jobWall      map[jobs.Mode]*obsv.Histogram
+
+	batchItems      *obsv.Counter
+	batchItemErrors *obsv.Counter
+	batchSize       *obsv.Histogram
 
 	mu       sync.Mutex
 	requests map[string]*obsv.Counter // endpoint + status → counter
@@ -154,6 +163,12 @@ func newMetricsSet(mgr *jobs.Manager, ckpts *checkpoint.Store, start time.Time) 
 			"HTTP request latency by endpoint.",
 			map[string]string{"endpoint": ep}, nil)
 	}
+	m.batchItems = reg.Counter("critloadd_http_batch_items_total",
+		"Kernel sources received across batch classify requests.", nil)
+	m.batchItemErrors = reg.Counter("critloadd_http_batch_item_errors_total",
+		"Batch classify items that failed (per-item 4xx).", nil)
+	m.batchSize = reg.Histogram("critloadd_http_batch_size",
+		"Items per batch classify request.", nil, batchSizeBuckets)
 
 	// Per-mode job wall-time histograms, fed by the manager's execution
 	// observer.
@@ -164,6 +179,14 @@ func newMetricsSet(mgr *jobs.Manager, ckpts *checkpoint.Store, start time.Time) 
 	}
 	mgr.SetExecutionObserver(m.observeExecution)
 	return m
+}
+
+// observeBatch records one batch classify request's size and per-item
+// failure count.
+func (m *metricsSet) observeBatch(items, failed int) {
+	m.batchItems.Add(uint64(items))
+	m.batchItemErrors.Add(uint64(failed))
+	m.batchSize.Observe(float64(items))
 }
 
 // observeRequest is the Instrument middleware's sink.

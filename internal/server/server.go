@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -24,9 +26,16 @@ import (
 // small, so anything larger is a client error, not a workload.
 const maxRequestBytes = 4 << 20
 
+// retryAfterHint is the Retry-After value (in seconds) sent with queue-full
+// 429s and shutting-down 503s. One second matches the service's drain rate:
+// a full queue at typical job wall times frees slots well within it, and a
+// smaller hint cannot be expressed in the header's integer-seconds form.
+const retryAfterHint = "1"
+
 // Server is the critloadd HTTP API.
 //
-//	POST   /v1/classify      classify a PTX source's global loads (synchronous)
+//	POST   /v1/classify        classify a PTX source's global loads (synchronous)
+//	POST   /v1/classify/batch  classify many PTX sources in one request
 //	POST   /v1/jobs          submit a functional or timing simulation job
 //	GET    /v1/jobs/{id}     poll a job (optionally ?wait_ms=N)
 //	DELETE /v1/jobs/{id}     cancel a job
@@ -76,6 +85,7 @@ func New(mgr *jobs.Manager, opts ...Option) *Server {
 	}
 	s.metrics = newMetricsSet(mgr, s.ckpts, s.start)
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/classify/batch", s.handleClassifyBatch)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -156,31 +166,38 @@ type ClassifyResponse struct {
 	Kernels []KernelJSON `json:"kernels"`
 }
 
-func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		writeError(w, bodyErrorStatus(err), "reading body: %v", err)
-		return
-	}
-	src := string(body)
-	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "json") {
-		var req classifyRequest
-		if err := json.Unmarshal(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
-			return
+// isJSONBody decides whether a classify body is the JSON envelope or raw
+// PTX. An explicit Content-Type is parsed as a proper media type and
+// trusted: application/json, text/json and any +json suffix mean JSON,
+// anything else (text/plain, application/octet-stream, ...) means raw PTX.
+// With no Content-Type — or one mime.ParseMediaType rejects — the body is
+// sniffed: PTX source never opens with '{', so a leading brace is JSON.
+// The old strings.Contains(ct, "json") check sent a headerless JSON body
+// down the raw-PTX path, where it died with a misleading parse error.
+func isJSONBody(ct string, body []byte) bool {
+	if ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err == nil {
+			return mt == "application/json" || mt == "text/json" ||
+				strings.HasSuffix(mt, "+json")
 		}
-		src = req.PTX
 	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{'
+}
+
+// classifySource runs the parse-and-classify pipeline on one source,
+// reporting failures as the HTTP status the caller should relay: 400 for an
+// empty source, 422 for source the parser rejects. It is the shared core of
+// the single and batch classify handlers.
+func classifySource(src string) (*ClassifyResponse, int, error) {
 	if strings.TrimSpace(src) == "" {
-		writeError(w, http.StatusBadRequest, "empty PTX source")
-		return
+		return nil, http.StatusBadRequest, errors.New("empty PTX source")
 	}
 	prog, err := ptx.Parse(src)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "parsing PTX: %v", err)
-		return
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("parsing PTX: %w", err)
 	}
-	resp := ClassifyResponse{Kernels: []KernelJSON{}}
+	resp := &ClassifyResponse{Kernels: []KernelJSON{}}
 	for _, k := range prog.Kernels {
 		res := dataflow.Classify(k)
 		det, nondet := res.Counts()
@@ -202,6 +219,101 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Kernels = append(resp.Kernels, kj)
 	}
+	return resp, http.StatusOK, nil
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, bodyErrorStatus(err), "reading body: %v", err)
+		return
+	}
+	src := string(body)
+	if isJSONBody(r.Header.Get("Content-Type"), body) {
+		var req classifyRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		src = req.PTX
+	}
+	resp, status, err := classifySource(src)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/classify/batch
+
+// BatchItemJSON is one kernel source in a batch classify request.
+type BatchItemJSON struct {
+	// ID is an optional client-chosen correlation handle; responses preserve
+	// request order, so it may be left empty. Non-empty IDs must be unique
+	// within the batch.
+	ID  string `json:"id,omitempty"`
+	PTX string `json:"ptx"`
+}
+
+// batchClassifyRequest is the batch envelope.
+type batchClassifyRequest struct {
+	Items []BatchItemJSON `json:"items"`
+}
+
+// BatchResultJSON is one item's outcome. Status mirrors what the single
+// endpoint would have answered for the same source (200, 400 or 422), so a
+// bad kernel fails its slot without failing the batch.
+type BatchResultJSON struct {
+	ID     string            `json:"id,omitempty"`
+	Status int               `json:"status"`
+	Error  string            `json:"error,omitempty"`
+	Result *ClassifyResponse `json:"result,omitempty"`
+}
+
+// BatchClassifyResponse is the full batch outcome, items in request order.
+type BatchClassifyResponse struct {
+	Items     []BatchResultJSON `json:"items"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+}
+
+func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchClassifyRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, bodyErrorStatus(err), "decoding request: %v", err)
+		return
+	}
+	if err := jobs.ValidateBatchSize(len(req.Items)); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ids := make([]string, len(req.Items))
+	for i, it := range req.Items {
+		ids[i] = it.ID
+	}
+	if err := jobs.ValidateBatchIDs(ids); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := BatchClassifyResponse{Items: make([]BatchResultJSON, 0, len(req.Items))}
+	for _, it := range req.Items {
+		out := BatchResultJSON{ID: it.ID}
+		res, status, err := classifySource(it.PTX)
+		out.Status = status
+		if err != nil {
+			out.Error = err.Error()
+			resp.Failed++
+		} else {
+			out.Result = res
+			resp.Succeeded++
+		}
+		resp.Items = append(resp.Items, out)
+	}
+	s.metrics.observeBatch(len(resp.Items), resp.Failed)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -251,8 +363,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, info)
 	case errors.Is(err, jobs.ErrQueueFull):
+		// Push-back responses carry Retry-After so well-behaved clients
+		// (pkg/client among them) know how long to hold off instead of
+		// guessing a backoff against a saturated queue.
+		w.Header().Set("Retry-After", retryAfterHint)
 		writeError(w, http.StatusTooManyRequests, "queue full")
 	case errors.Is(err, jobs.ErrClosed):
+		w.Header().Set("Retry-After", retryAfterHint)
 		writeError(w, http.StatusServiceUnavailable, "shutting down")
 	default:
 		writeError(w, http.StatusBadRequest, "%v", err)

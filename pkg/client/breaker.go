@@ -1,0 +1,120 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without touching the network while the breaker
+// is open: recent attempts kept failing, and the cooloff has not elapsed.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// BreakerConfig tunes the client's circuit breaker. The breaker watches
+// server-fault outcomes only (transport errors, 429, 5xx); caller errors
+// like a 422 parse rejection never trip it.
+type BreakerConfig struct {
+	// Disabled turns the breaker off entirely.
+	Disabled bool
+	// FailureThreshold is how many consecutive server faults open the
+	// circuit (0 = 5).
+	FailureThreshold int
+	// Cooloff is how long the circuit stays open before a half-open probe
+	// is allowed through (0 = 2s).
+	Cooloff time.Duration
+}
+
+// Breaker defaults.
+const (
+	DefaultFailureThreshold = 5
+	DefaultCooloff          = 2 * time.Second
+)
+
+// breaker is a consecutive-failure circuit breaker with the classic three
+// states. Closed: requests flow, failures count. Open: requests are shed
+// with ErrCircuitOpen until the cooloff elapses. Half-open: exactly one
+// probe request is allowed through; its success closes the circuit, its
+// failure re-opens it for another cooloff.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injected in tests
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+	opened    bool // distinguishes open/half-open from closed
+	probing   bool // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = DefaultFailureThreshold
+	}
+	if cfg.Cooloff <= 0 {
+		cfg.Cooloff = DefaultCooloff
+	}
+	return &breaker{cfg: cfg, now: time.Now}
+}
+
+// allow reports whether a request may proceed, transitioning open →
+// half-open once the cooloff has elapsed.
+func (b *breaker) allow() error {
+	if b.cfg.Disabled {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.opened {
+		return nil
+	}
+	if b.now().Before(b.openUntil) {
+		return ErrCircuitOpen
+	}
+	// Half-open: one probe at a time; everyone else keeps getting shed
+	// until the probe reports back.
+	if b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// record feeds one attempt's outcome back. success means "the server is
+// healthy" — a 4xx caller error counts as success here.
+func (b *breaker) record(success bool) {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.failures = 0
+		b.opened = false
+		b.probing = false
+		return
+	}
+	b.probing = false
+	b.failures++
+	if b.opened || b.failures >= b.cfg.FailureThreshold {
+		b.opened = true
+		b.openUntil = b.now().Add(b.cfg.Cooloff)
+	}
+}
+
+// state names the current state for observability: "closed", "open" or
+// "half-open" (plus "disabled").
+func (b *breaker) state() string {
+	if b.cfg.Disabled {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.opened:
+		return "closed"
+	case b.now().Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}

@@ -1,0 +1,154 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's notion of time.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestBreaker(threshold int, cooloff time.Duration) (*breaker, *fakeClock) {
+	b := newBreaker(BreakerConfig{FailureThreshold: threshold, Cooloff: cooloff})
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("allow %d = %v, want nil while closed", i, err)
+		}
+		b.record(false)
+	}
+	if got := b.state(); got != "closed" {
+		t.Fatalf("state after 2 failures = %q, want closed", got)
+	}
+	b.record(false) // third consecutive failure trips it
+	if got := b.state(); got != "open" {
+		t.Fatalf("state after threshold = %q, want open", got)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("allow while open = %v, want ErrCircuitOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.record(false)
+	b.record(false)
+	b.record(true) // run broken: counting starts over
+	b.record(false)
+	b.record(false)
+	if got := b.state(); got != "closed" {
+		t.Fatalf("state = %q, want closed (failures are not cumulative)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.record(false)
+	if got := b.state(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if got := b.state(); got != "half-open" {
+		t.Fatalf("state after cooloff = %q, want half-open", got)
+	}
+	// Exactly one probe goes through; concurrent callers are still shed.
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe allow = %v, want nil", err)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second caller during probe = %v, want ErrCircuitOpen", err)
+	}
+	// Probe succeeds: circuit closes, traffic flows.
+	b.record(true)
+	if got := b.state(); got != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("allow after close = %v, want nil", err)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.record(false)
+	clk.advance(1100 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe allow = %v, want nil", err)
+	}
+	b.record(false) // probe failed: back to open for a fresh cooloff
+	if got := b.state(); got != "open" {
+		t.Fatalf("state after failed probe = %q, want open", got)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("allow after failed probe = %v, want ErrCircuitOpen", err)
+	}
+	// And the next cooloff admits another probe.
+	clk.advance(1100 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe allow = %v, want nil", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerConfig{Disabled: true})
+	for i := 0; i < 100; i++ {
+		b.record(false)
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("disabled breaker allow = %v, want nil", err)
+	}
+	if got := b.state(); got != "disabled" {
+		t.Fatalf("state = %q, want disabled", got)
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	j := newJitterSource()
+	base, max := 50*time.Millisecond, 2*time.Second
+	for attempt := 0; attempt < 10; attempt++ {
+		full := base << attempt
+		if full > max || full <= 0 {
+			full = max
+		}
+		for i := 0; i < 50; i++ {
+			d := backoffDelay(base, max, attempt, j)
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d delay %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter(""); d != 0 {
+		t.Errorf("empty = %v, want 0", d)
+	}
+	if d := parseRetryAfter("2"); d != 2*time.Second {
+		t.Errorf("seconds = %v, want 2s", d)
+	}
+	if d := parseRetryAfter("-1"); d != 0 {
+		t.Errorf("negative = %v, want 0", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Errorf("garbage = %v, want 0", d)
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d < 80*time.Second || d > 90*time.Second {
+		t.Errorf("http-date = %v, want ~90s", d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Errorf("past http-date = %v, want 0", d)
+	}
+}

@@ -1,0 +1,177 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// JobSpec describes one simulation job; it mirrors the POST /v1/jobs
+// request body.
+type JobSpec struct {
+	Workload     string `json:"workload"`
+	Mode         string `json:"mode"` // "functional" or "timing"
+	Size         int    `json:"size,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	MaxWarpInsts uint64 `json:"max_warp_insts,omitempty"`
+	MaxCycles    int64  `json:"max_cycles,omitempty"`
+	// TimeoutMillis bounds the job's wall time server-side (0 = none).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// ReuseCheckpoints opts a timing job into the daemon's checkpoint store
+	// when one is configured; results are byte-identical either way.
+	ReuseCheckpoints bool `json:"reuse_checkpoints,omitempty"`
+}
+
+// Job states, mirroring the server's lifecycle.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Progress is a running job's heartbeat, updated by the simulation runner
+// at kernel-launch boundaries.
+type Progress struct {
+	Cycles       int64     `json:"cycles"`
+	WarpInsts    uint64    `json:"warp_insts"`
+	CyclesPerSec float64   `json:"cycles_per_sec,omitempty"`
+	Updated      time.Time `json:"updated"`
+}
+
+// Job is one job snapshot. Result is left raw: its shape depends on the
+// job's mode — decode it into your own struct, or use the counters
+// convenience below.
+type Job struct {
+	ID           string          `json:"id"`
+	Key          string          `json:"key"`
+	State        string          `json:"state"`
+	Error        string          `json:"error,omitempty"`
+	CacheHit     bool            `json:"cache_hit,omitempty"`
+	Created      time.Time       `json:"created"`
+	Started      time.Time       `json:"started"`
+	Finished     time.Time       `json:"finished"`
+	QueuedMillis int64           `json:"queued_millis"`
+	WallMillis   int64           `json:"wall_millis"`
+	Progress     *Progress       `json:"progress,omitempty"`
+	Result       json.RawMessage `json:"result,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j *Job) Terminal() bool {
+	switch j.State {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Err folds a terminal job's outcome into an error: nil for done, a
+// descriptive error for failed or cancelled.
+func (j *Job) Err() error {
+	switch j.State {
+	case StateFailed:
+		return fmt.Errorf("client: job %s failed: %s", j.ID, j.Error)
+	case StateCancelled:
+		return fmt.Errorf("client: job %s cancelled", j.ID)
+	}
+	return nil
+}
+
+// SubmitJob submits a simulation job and returns its initial snapshot —
+// already terminal (with cache_hit set) when the result was cached.
+func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, "job_submit", http.MethodPost, "/v1/jobs", nil, spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetJob fetches a job's current snapshot.
+func (c *Client) GetJob(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, "job_get", http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelJob cancels a job; cancelling a finished job is a no-op returning
+// its final snapshot.
+func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, "job_cancel", http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// defaultPollWait is WaitJob's per-request long-poll window. Long enough
+// that a typical job completes within one round trip, short enough that a
+// stuck connection is noticed.
+const defaultPollWait = 15 * time.Second
+
+// WaitJob long-polls the job until it reaches a terminal state or ctx is
+// done. pollWait sets the per-request wait_ms window (0 = 15s); progress
+// heartbeats arrive on the intermediate snapshots, so a caller watching a
+// long simulate can wrap WaitJob's ctx and poll GetJob itself.
+func (c *Client) WaitJob(ctx context.Context, id string, pollWait time.Duration) (*Job, error) {
+	if pollWait <= 0 {
+		pollWait = defaultPollWait
+	}
+	q := url.Values{"wait_ms": []string{strconv.FormatInt(pollWait.Milliseconds(), 10)}}
+	for {
+		var out Job
+		if err := c.do(ctx, "job_wait", http.MethodGet, "/v1/jobs/"+url.PathEscape(id), q, nil, &out); err != nil {
+			return nil, err
+		}
+		if out.Terminal() {
+			return &out, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return &out, err
+		}
+	}
+}
+
+// RunJob is submit-and-wait: it returns the job's terminal snapshot. The
+// returned error covers transport and API failures only; a job that ran and
+// failed comes back with State "failed" and a nil error — check Err().
+func (c *Client) RunJob(ctx context.Context, spec JobSpec) (*Job, error) {
+	job, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if job.Terminal() {
+		return job, nil
+	}
+	return c.WaitJob(ctx, job.ID, 0)
+}
+
+// Workload is one built-in benchmark listing.
+type Workload struct {
+	Name        string `json:"name"`
+	Category    string `json:"category"`
+	Description string `json:"description"`
+	DataSet     string `json:"data_set"`
+}
+
+// Workloads lists the daemon's built-in Table I benchmarks.
+func (c *Client) Workloads(ctx context.Context) ([]Workload, error) {
+	var out []Workload
+	if err := c.do(ctx, "workloads", http.MethodGet, "/v1/workloads", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health checks daemon liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, "health", http.MethodGet, "/healthz", nil, nil, nil)
+}

@@ -1,0 +1,68 @@
+package client
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// backoffDelay computes the attempt'th retry delay: exponential growth from
+// base, capped at max, with full jitter in [delay/2, delay] so a fleet of
+// clients bounced by the same 429 does not reconverge on the server in
+// lockstep.
+func backoffDelay(base, max time.Duration, attempt int, j *jitterSource) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + j.between(half)
+}
+
+// parseRetryAfter understands both Retry-After forms: integer seconds and
+// an HTTP date. Anything else (or an empty header) yields zero, which the
+// retry loop treats as "no push-back, use your own backoff".
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// jitterSource is a mutex-guarded rand.Rand: the global rand would work,
+// but a private source keeps the client's jitter independent of whatever
+// seeding the embedding program does.
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitterSource() *jitterSource {
+	return &jitterSource{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+// between returns a uniform duration in [0, d].
+func (j *jitterSource) between(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return time.Duration(j.rng.Int63n(int64(d) + 1))
+}

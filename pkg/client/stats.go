@@ -1,0 +1,166 @@
+package client
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the per-op histogram bounds in seconds, log-spaced
+// from 100µs (an in-process classify round trip) to 60s (a saturating
+// simulate long-poll). Samples beyond the last bound land in the overflow
+// bucket.
+var latencyBuckets = []float64{
+	0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+	0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60,
+}
+
+// opStats accumulates one operation's counters and latency distribution.
+type opStats struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	retries atomic.Int64
+
+	mu      sync.Mutex
+	buckets []int64 // len(latencyBuckets)+1; the extra slot is overflow
+	sum     float64
+	min     float64
+	max     float64
+}
+
+func newOpStats() *opStats {
+	return &opStats{buckets: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (o *opStats) observe(d time.Duration, failed bool) {
+	o.count.Add(1)
+	if failed {
+		o.errors.Add(1)
+	}
+	secs := d.Seconds()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	idx := sort.SearchFloat64s(latencyBuckets, secs)
+	o.buckets[idx]++
+	o.sum += secs
+	if o.min == 0 || secs < o.min {
+		o.min = secs
+	}
+	if secs > o.max {
+		o.max = secs
+	}
+}
+
+// quantileLocked estimates the p-quantile (0 < p < 1) by linear
+// interpolation within the winning bucket; the overflow bucket reports the
+// last finite bound.
+func (o *opStats) quantileLocked(p float64) float64 {
+	total := int64(0)
+	for _, n := range o.buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	seen := int64(0)
+	for i, n := range o.buckets {
+		if float64(seen+n) < rank {
+			seen += n
+			continue
+		}
+		if i >= len(latencyBuckets) {
+			return latencyBuckets[len(latencyBuckets)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latencyBuckets[i-1]
+		}
+		hi := latencyBuckets[i]
+		if n == 0 {
+			return hi
+		}
+		frac := (rank - float64(seen)) / float64(n)
+		return lo + frac*(hi-lo)
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// OpSnapshot is one operation's accumulated statistics.
+type OpSnapshot struct {
+	// Count is completed operations (each counted once, however many
+	// attempts it took); Errors those that ultimately failed; Retries the
+	// extra attempts spent across all operations.
+	Count   int64
+	Errors  int64
+	Retries int64
+	// Latency summary in milliseconds. P50/P99 are histogram estimates.
+	MinMillis  float64
+	MeanMillis float64
+	MaxMillis  float64
+	P50Millis  float64
+	P99Millis  float64
+}
+
+// StatsSnapshot maps operation name ("classify", "classify_batch",
+// "job_submit", "job_wait", ...) to its statistics.
+type StatsSnapshot map[string]OpSnapshot
+
+// statsSet owns every operation's opStats. Ops self-register on first use.
+type statsSet struct {
+	mu  sync.Mutex
+	ops map[string]*opStats
+}
+
+func newStatsSet() *statsSet {
+	return &statsSet{ops: map[string]*opStats{}}
+}
+
+func (s *statsSet) op(name string) *opStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.ops[name]
+	if !ok {
+		o = newOpStats()
+		s.ops[name] = o
+	}
+	return o
+}
+
+func (s *statsSet) observe(name string, d time.Duration, err error) {
+	s.op(name).observe(d, err != nil)
+}
+
+func (s *statsSet) retry(name string) {
+	s.op(name).retries.Add(1)
+}
+
+func (s *statsSet) snapshot() StatsSnapshot {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.ops))
+	for name := range s.ops {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	out := make(StatsSnapshot, len(names))
+	for _, name := range names {
+		o := s.op(name)
+		snap := OpSnapshot{
+			Count:   o.count.Load(),
+			Errors:  o.errors.Load(),
+			Retries: o.retries.Load(),
+		}
+		o.mu.Lock()
+		if n := snap.Count; n > 0 {
+			snap.MeanMillis = o.sum / float64(n) * 1e3
+		}
+		snap.MinMillis = o.min * 1e3
+		snap.MaxMillis = o.max * 1e3
+		snap.P50Millis = o.quantileLocked(0.50) * 1e3
+		snap.P99Millis = o.quantileLocked(0.99) * 1e3
+		o.mu.Unlock()
+		out[name] = snap
+	}
+	return out
+}

@@ -53,6 +53,13 @@ type Options struct {
 	// oracle entirely (for callers that only study the serial engines).
 	GPUP         func() gpu.Config
 	SkipParallel bool
+	// GPUAd builds the adaptive-engine variant of the fourth oracle.
+	// Default: the parallel configuration plus the adaptive controller with
+	// the negative-threshold test hook, so fuzzed kernels drive the
+	// phase-fusion and inline/pooled transitions on any host instead of
+	// demoting to the (already covered) serial loop body. SkipParallel
+	// drops this variant too.
+	GPUAd func() gpu.Config
 	// SkipCheckpoint drops the fifth oracle (snapshot/restore byte-identity),
 	// for callers that only study the live engines.
 	SkipCheckpoint bool
@@ -85,6 +92,16 @@ func (o Options) gpuP() gpu.Config {
 	cfg := gpu.DefaultConfig()
 	cfg.Parallel = true
 	cfg.Workers = 4
+	return cfg
+}
+
+func (o Options) gpuAd() gpu.Config {
+	if o.GPUAd != nil {
+		return o.GPUAd()
+	}
+	cfg := o.gpuP()
+	cfg.Adaptive = true
+	cfg.AdaptiveThreshold = -4
 	return cfg
 }
 
@@ -205,20 +222,27 @@ func Check(c *kgen.Case, opts Options) *Report {
 	}
 
 	// Oracle 4: the parallel phase-barrier engine against engine A, plus its
-	// final memory against the emulator.
+	// final memory against the emulator — once in the plain configuration and
+	// once with the adaptive controller, so both the always-pooled and the
+	// fused/inline/pooled cycle paths see every fuzzed kernel.
 	if !opts.SkipParallel {
-		runP, snapP, errP := runTiming(c, opts.gpuP(), opts.maxCycles())
-		if errP != nil {
-			// Engine A succeeded (errors returned above), so any parallel
-			// failure is a divergence on its own.
-			rep.add("parallel", "parallel engine failed where A succeeded: %v", errP)
-			return rep
-		}
-		for _, d := range experiments.DiffRuns(runA, runP) {
-			rep.add("parallel", "%s", d)
-		}
-		if d := diffSnapshots(snapRef, snapP); d != "" {
-			rep.add("parallel", "parallel engine memory differs from emulator: %s", d)
+		for _, v := range []struct {
+			name string
+			cfg  gpu.Config
+		}{{"parallel", opts.gpuP()}, {"adaptive", opts.gpuAd()}} {
+			runP, snapP, errP := runTiming(c, v.cfg, opts.maxCycles())
+			if errP != nil {
+				// Engine A succeeded (errors returned above), so any parallel
+				// failure is a divergence on its own.
+				rep.add("parallel", "%s engine failed where A succeeded: %v", v.name, errP)
+				return rep
+			}
+			for _, d := range experiments.DiffRuns(runA, runP) {
+				rep.add("parallel", "%s: %s", v.name, d)
+			}
+			if d := diffSnapshots(snapRef, snapP); d != "" {
+				rep.add("parallel", "%s engine memory differs from emulator: %s", v.name, d)
+			}
 		}
 	}
 

@@ -85,11 +85,15 @@ func MeasureEngine(c BenchCase, seed int64, fastForward bool) (EngineMeasurement
 }
 
 // MeasureParallel measures the parallel phase-barrier engine (composed with
-// fast-forward, its production configuration) at the given worker count.
+// fast-forward and the adaptive controller, its production configuration) at
+// the given worker count. On a host without a core per worker the adaptive
+// controller demotes to the serial loop body, so this row degrades to ~FF
+// throughput instead of measuring barrier overhead the host cannot hide.
 func MeasureParallel(c BenchCase, seed int64, workers int) (EngineMeasurement, error) {
 	cfg := gpu.DefaultConfig()
 	cfg.Parallel = true
 	cfg.Workers = workers
+	cfg.Adaptive = true
 	return MeasureEngineConfig(c, seed, cfg)
 }
 

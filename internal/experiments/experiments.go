@@ -97,6 +97,11 @@ type Run struct {
 	// WarmStartCycles is the number of simulated cycles inherited from the
 	// checkpoint instead of re-simulated (0 for cold starts).
 	WarmStartCycles int64
+	// PhaseStats carries the parallel engine's phase diagnostics (fusion and
+	// adaptive-controller decisions); zero for the serial engines. Like
+	// SkippedCycles it is informational and excluded from byte-identity
+	// comparisons.
+	PhaseStats gpu.PhaseStats
 }
 
 // suiteCall is one singleflight execution slot: the first caller runs the
@@ -306,7 +311,7 @@ func runTimingCold(ctx context.Context, w *workloads.Workload, inst *workloads.I
 		opts.Progress(g.Cycle(), col.WarpInsts)
 	}
 	return &Run{Workload: w, Instance: inst, Col: col, Cycles: g.Cycle(),
-		SkippedCycles: g.SkippedCycles}, nil
+		SkippedCycles: g.SkippedCycles, PhaseStats: g.Phases}, nil
 }
 
 // runAll maps fn over the selected workloads.

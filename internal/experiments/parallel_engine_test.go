@@ -48,6 +48,80 @@ func TestParallelEngineMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestAdaptiveEngineMatchesSerial is the adaptive controller's contract: for
+// every workload and worker count, the engine with occupancy-driven
+// phase-fusion and inline/pooled selection must stay byte-identical to the
+// naive serial loop. The negative threshold is the test hook — threshold 4
+// with whole-engine demotion disabled — so the phase loop runs (and, under
+// -race, proves its concurrency) even on a single-core host, and real
+// workloads force promote/demote transitions mid-kernel as occupancy crosses
+// the threshold. The probe asserts both decisions actually occurred.
+func TestAdaptiveEngineMatchesSerial(t *testing.T) {
+	for name, size := range timingSmokeSizes {
+		name, size := name, size
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serialCfg := gpu.DefaultConfig()
+			serialCfg.FastForward = false
+			serial, err := RunTiming(name, Options{Size: size, Seed: 7, GPU: &serialCfg})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			var pooled, inline int64
+			for _, workers := range []int{1, 2, 4, 8} {
+				cfg := parallelCfg(workers)
+				cfg.Adaptive = true
+				cfg.AdaptiveThreshold = -4
+				par, err := RunTiming(name, Options{Size: size, Seed: 7, GPU: &cfg})
+				if err != nil {
+					t.Fatalf("adaptive run (workers=%d): %v", workers, err)
+				}
+				for _, d := range DiffEngineRuns(
+					[]string{"serial", fmt.Sprintf("adaptive/%dw", workers)},
+					[]*Run{serial, par}) {
+					t.Errorf("%s", d)
+				}
+				if par.PhaseStats.Demoted {
+					t.Errorf("workers=%d: demoted despite the negative-threshold hook", workers)
+				}
+				if workers > 1 {
+					pooled += par.PhaseStats.PooledPhases
+					inline += par.PhaseStats.InlinePhases
+				}
+			}
+			if pooled == 0 || inline == 0 {
+				t.Errorf("controller never transitioned on %s: pooled %d, inline %d", name, pooled, inline)
+			}
+		})
+	}
+}
+
+// TestAdaptiveEngineDefaultPolicyMatchesFF checks the production adaptive
+// configuration (default threshold, demotion allowed): whatever the host's
+// core count, collectors must match the fast-forward engine bit for bit —
+// on a single-core machine that path is the whole-engine demotion.
+func TestAdaptiveEngineDefaultPolicyMatchesFF(t *testing.T) {
+	for _, name := range []string{"spmv", "grm", "bfs"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ff, err := RunTiming(name, Options{Size: timingSmokeSizes[name], Seed: 7})
+			if err != nil {
+				t.Fatalf("ff run: %v", err)
+			}
+			cfg := parallelCfg(4)
+			cfg.Adaptive = true
+			par, err := RunTiming(name, Options{Size: timingSmokeSizes[name], Seed: 7, GPU: &cfg})
+			if err != nil {
+				t.Fatalf("adaptive run: %v", err)
+			}
+			for _, d := range DiffEngineRuns([]string{"fastforward", "adaptive"}, []*Run{ff, par}) {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
 // TestParallelEngineWithoutFastForward isolates the phase-barrier machinery
 // from event-horizon skipping: with FastForward off, every cycle is stepped
 // and the engines must still agree, so a divergence here cannot hide behind

@@ -82,6 +82,21 @@ type Config struct {
 	// capped at the SM count). Ignored unless Parallel is set; any value
 	// produces identical results, by the engine's determinism contract.
 	Workers int
+	// Adaptive enables the parallel engine's occupancy-driven controller:
+	// each cycle, a concurrent phase whose active-component count is below
+	// the threshold runs inline on the engine goroutine instead of fanning
+	// out to the pool, and a launch that can never profit from the pool
+	// (one usable core) demotes to the serial/fast-forward loop body
+	// outright. Decisions are pure functions of pre-phase simulated state,
+	// so results stay byte-identical at every worker count. Ignored unless
+	// Parallel is set.
+	Adaptive bool
+	// AdaptiveThreshold is the minimum number of non-quiet components in a
+	// phase for it to be worth a pool fan-out (0 = default 3). A negative
+	// value is a test hook: the magnitude is the threshold and whole-engine
+	// demotion is disabled, forcing per-phase inline/pooled transitions to
+	// exercise even on a single-core host.
+	AdaptiveThreshold int
 }
 
 // DefaultConfig returns the Tesla C2050 configuration of Table II: 14 SMs,
@@ -176,6 +191,12 @@ type GPU struct {
 	// purpose: the serial oracle never skips, and the two engines' collectors
 	// must stay byte-identical.
 	SkippedCycles int64
+
+	// Phases accumulates the parallel engine's phase diagnostics (fusion and
+	// adaptive-controller decisions). Like SkippedCycles it lives outside the
+	// Collector: engine mechanics must never leak into the statistics that
+	// the byte-identity contract compares.
+	Phases PhaseStats
 
 	// pinHint is the component index (see nextEventOf) that most recently
 	// pinned the horizon to now+1. Activity is phase-local, so rechecking it
@@ -339,7 +360,15 @@ func (g *GPU) LaunchKernel(l *emu.Launch) error {
 	if g.cfg.Parallel {
 		return g.launchParallel(l)
 	}
+	return g.runSerialLoop(l)
+}
 
+// runSerialLoop is the serial/fast-forward cycle loop shared by the plain
+// engines and the parallel engine's whole-launch demotion path. The budget
+// check sums live shard collectors so the adaptive engine — whose SMs write
+// shards — stops at exactly the cycle the serial loop would; without shards
+// warpInstsTotal is just Col.WarpInsts.
+func (g *GPU) runSerialLoop(l *emu.Launch) error {
 	for {
 		// Reply path first so fills release resources before new accesses.
 		g.replyNet.Step(g.cycle)
@@ -354,7 +383,7 @@ func (g *GPU) LaunchKernel(l *emu.Launch) error {
 		}
 		if !g.stopIssue {
 			g.scheduleCTAs()
-			if g.cfg.MaxWarpInsts > 0 && g.Col.WarpInsts >= g.cfg.MaxWarpInsts {
+			if g.cfg.MaxWarpInsts > 0 && g.warpInstsTotal() >= g.cfg.MaxWarpInsts {
 				// Hard stop, as GPGPU-Sim does at its instruction budget:
 				// freeze statistics without draining in-flight work. The GPU
 				// must not be asked to run further kernels after this.

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
 
 	"critload/internal/emu"
 )
@@ -14,7 +17,8 @@ import (
 // simulated cycle while every artifact stays byte-identical to the serial
 // loop. The phase structure mirrors the serial order exactly:
 //
-//	1. reply network delivery            — serial (mutates SMs)
+//	1. reply network delivery            — serial (mutates SMs); skipped when
+//	   the network proves itself quiet (QuietAt)
 //	2. memory partitions + DRAM          — PARALLEL (one worker per partition
 //	   subset; reply injection staged per source, store releases staged)
 //	   then the staged reply injections and releases merge serially
@@ -25,6 +29,13 @@ import (
 //	   execution reads and writes the shared simulated memory)
 //	6. CTA scheduling, budget, horizon   — serial
 //
+// On the common path phases 2–4 FUSE into one barrier: when the request
+// network reports QuietAt (its delivery scan would be a no-op), partitions
+// and SM memory pipelines share a single concurrent phase — legal because
+// the two sets never touch each other inside a cycle except through the
+// networks, whose injections are staged per source either way. That takes
+// the barriers per stepped cycle from three to one.
+//
 // Determinism rests on ownership: during a concurrent phase every component
 // touches only its own state, its own statistics shard, its own request
 // pool, and the per-source staging slots of a deferred-mode network. The
@@ -34,47 +45,224 @@ import (
 // that can read or write shared simulated memory, including atomics — is
 // confined to the serial issue phase, so no memory value ever depends on
 // goroutine scheduling.
+//
+// The adaptive controller (Config.Adaptive) layers engine auto-selection on
+// top: each cycle it counts the non-quiet components of a concurrent phase
+// and runs the phase inline on the engine goroutine when fewer than the
+// threshold are active — a barrier costs more than a handful of quiet-check
+// early returns — re-promoting to the pool the moment occupancy rises. A
+// launch that can never profit from the pool (one usable core) demotes to
+// the serial loop body outright. Every decision reads only pre-phase
+// simulated state, never wall-clock or scheduling facts, so collectors stay
+// byte-identical at any worker count.
+
+// PhaseStats is the parallel engine's per-launch phase diagnostics: how many
+// cycles were actually stepped, how many took the fused single-barrier path,
+// and how the adaptive controller split concurrent phases between the pool
+// and the engine goroutine. Purely informational — never part of the
+// byte-identity contract.
+type PhaseStats struct {
+	// SteppedCycles counts cycles the phase loop executed (fast-forwarded
+	// cycles are in GPU.SkippedCycles instead).
+	SteppedCycles int64
+	// FusedCycles counts stepped cycles that took the fused single-barrier
+	// path (request network quiet, partitions and SMs in one phase).
+	FusedCycles int64
+	// PooledPhases counts concurrent phases fanned out to the worker pool.
+	PooledPhases int64
+	// InlinePhases counts concurrent phases the adaptive controller ran
+	// inline on the engine goroutine because too few components were active.
+	InlinePhases int64
+	// Demoted reports that a launch ran on the serial loop body because the
+	// adaptive controller saw no core for the pool to use.
+	Demoted bool
+}
+
+// PhasePanicError is the panic value runPhase rethrows when a phase function
+// panics inside a pool worker: the recovered value plus the worker's stack at
+// the panic site. Without this containment the panic would kill the worker
+// goroutine and the next barrier would wait forever (mirrors jobs.PanicError).
+type PhasePanicError struct {
+	// Worker is the pool worker index that panicked.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+func (e *PhasePanicError) Error() string {
+	return fmt.Sprintf("gpu: parallel phase panicked on worker %d: %v\n%s", e.Worker, e.Value, e.Stack)
+}
+
+// stopParticipants is the participant count published by close(); no real
+// phase can reach it (participants are capped at the SM count).
+const stopParticipants = 1 << 30
 
 // workerPool runs phases over a fixed set of persistent goroutines; workers
-// are spawned once per launch and reused every cycle (no per-cycle spawning).
-// Channel handoffs give the happens-before edges that make each phase a full
-// barrier: work written before the phase is visible to workers, and worker
-// writes are visible to the engine after the phase.
+// are spawned once per launch and reused every cycle. Phases are announced
+// through one atomic command word — (participants << 32) | sequence — and
+// completion through an atomic countdown, so a phase costs two atomic writes
+// and a handful of atomic reads instead of the 2·workers channel operations
+// of the previous handoff design. Workers spin briefly on the command word
+// before parking on a condition variable (the futex-style fallback), so an
+// engine that issues phases back-to-back never pays a wake-up.
+//
+// Memory ordering: the engine writes fn, then stores cmd; a worker loads cmd
+// (observing the new sequence number), then reads fn — the atomic pair gives
+// the happens-before edge into the phase. The worker's pending.Add(-1) and
+// the engine's pending.Load()==0 give the edge out of it.
 type workerPool struct {
 	n    int
-	work chan func(worker int)
-	done chan struct{}
+	fn   func(worker int) // current phase body; published by the cmd store
+	cmd  atomic.Uint64    // (participants << 32) | sequence
+	spin int              // spin iterations before parking (0 on one core)
+
+	pending atomic.Int32 // participants yet to finish the current phase
+	parked  atomic.Bool  // engine is parked waiting for pending to drain
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sleepers int // workers parked on cond
+
+	panics []*PhasePanicError // one slot per worker, collected after the barrier
 }
 
 func newWorkerPool(n int) *workerPool {
-	p := &workerPool{n: n, work: make(chan func(int)), done: make(chan struct{})}
+	p := &workerPool{n: n, panics: make([]*PhasePanicError, n)}
+	p.cond = sync.NewCond(&p.mu)
+	if runtime.GOMAXPROCS(0) > 1 {
+		// Long enough to cover the engine's serial merge segments between
+		// phases, short enough that a genuinely idle pool parks within tens
+		// of microseconds.
+		p.spin = 1 << 15
+	}
 	for w := 0; w < n; w++ {
-		go func(w int) {
-			for f := range p.work {
-				f(w)
-				p.done <- struct{}{}
-			}
-		}(w)
+		go p.worker(w)
 	}
 	return p
 }
 
-// runPhase hands f to every worker and blocks until all of them finish; f
-// must partition its work by the worker index it receives.
-func (p *workerPool) runPhase(f func(worker int)) {
-	for i := 0; i < p.n; i++ {
-		p.work <- f
-	}
-	for i := 0; i < p.n; i++ {
-		<-p.done
+// worker is the persistent loop of one pool goroutine: watch the command
+// word, run the published phase when the sequence number advances, spin then
+// park while it does not.
+func (p *workerPool) worker(w int) {
+	last := uint32(0)
+	for {
+		c := p.cmd.Load()
+		if uint32(c) == last {
+			for i := 0; i < p.spin; i++ {
+				if c = p.cmd.Load(); uint32(c) != last {
+					break
+				}
+			}
+			if uint32(c) == last {
+				p.mu.Lock()
+				for uint32(p.cmd.Load()) == last {
+					p.sleepers++
+					p.cond.Wait()
+					p.sleepers--
+				}
+				p.mu.Unlock()
+				continue
+			}
+		}
+		last = uint32(c)
+		k := int(c >> 32)
+		if k >= stopParticipants {
+			return
+		}
+		if w < k {
+			p.runWorker(w)
+		}
 	}
 }
 
-// close terminates the workers; the pool must not be used afterwards.
-func (p *workerPool) close() { close(p.work) }
+// runWorker executes the current phase body on one worker, containing panics
+// into the per-worker slot and always completing the countdown — a panicking
+// phase must still release the barrier so the engine can rethrow it.
+func (p *workerPool) runWorker(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics[w] = &PhasePanicError{Worker: w, Value: r, Stack: debug.Stack()}
+		}
+		if p.pending.Add(-1) == 0 && p.parked.Load() {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}()
+	p.fn(w)
+}
+
+// runPhase runs f on workers 0..k-1 and blocks until all of them finish; f
+// must partition its work by the worker index it receives, with stride k.
+// k is clamped to the pool size; a single-participant phase runs inline on
+// the caller (no barrier is cheaper than any barrier). If a worker panicked,
+// the first panic (by worker index) is rethrown here as *PhasePanicError.
+func (p *workerPool) runPhase(k int, f func(worker int)) {
+	if k > p.n {
+		k = p.n
+	}
+	if k <= 1 {
+		f(0) // a caller-side panic propagates naturally
+		return
+	}
+	p.fn = f
+	p.pending.Store(int32(k))
+	seq := uint32(p.cmd.Load()) + 1
+	p.cmd.Store(uint64(k)<<32 | uint64(seq))
+	p.mu.Lock()
+	if p.sleepers > 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.waitDone()
+	p.fn = nil
+	for w := 0; w < k; w++ {
+		if pe := p.panics[w]; pe != nil {
+			for i := w; i < k; i++ {
+				p.panics[i] = nil
+			}
+			panic(pe)
+		}
+	}
+}
+
+// waitDone spins on the countdown, then parks on the condition variable; the
+// last worker to finish wakes a parked engine (and only then — the parked
+// flag keeps the uncontended fast path free of locks).
+func (p *workerPool) waitDone() {
+	for i := 0; i < p.spin; i++ {
+		if p.pending.Load() == 0 {
+			return
+		}
+	}
+	p.mu.Lock()
+	p.parked.Store(true)
+	for p.pending.Load() != 0 {
+		p.cond.Wait()
+	}
+	p.parked.Store(false)
+	p.mu.Unlock()
+}
+
+// close terminates the workers; the pool must not be used afterwards. Safe
+// to call with workers parked or spinning — runPhase has already drained any
+// in-flight phase.
+func (p *workerPool) close() {
+	seq := uint32(p.cmd.Load()) + 1
+	p.cmd.Store(uint64(stopParticipants)<<32 | uint64(seq))
+	p.mu.Lock()
+	if p.sleepers > 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
 
 // workerCount resolves Config.Workers: 0 means GOMAXPROCS, and more workers
-// than SMs buys nothing (partitions are fewer still).
+// than SMs buys nothing (partitions are fewer still; the per-phase
+// participant counts clamp further, e.g. to the partition count).
 func (g *GPU) workerCount() int {
 	n := g.cfg.Workers
 	if n <= 0 {
@@ -87,6 +275,29 @@ func (g *GPU) workerCount() int {
 		n = 1
 	}
 	return n
+}
+
+// defaultAdaptiveThreshold is the active-component count below which a
+// concurrent phase runs inline under the adaptive controller: stepping one
+// or two live components costs less than any barrier.
+const defaultAdaptiveThreshold = 3
+
+// adaptivePolicy resolves Config.Adaptive/AdaptiveThreshold into the
+// per-phase threshold (0 = controller off) and whether whole-engine demotion
+// is allowed. A negative configured threshold is the test hook: magnitude
+// with demotion disabled, so per-phase transitions exercise on any host.
+func (g *GPU) adaptivePolicy() (thr int, demoteOK bool) {
+	if !g.cfg.Adaptive {
+		return 0, false
+	}
+	thr = g.cfg.AdaptiveThreshold
+	switch {
+	case thr == 0:
+		thr = defaultAdaptiveThreshold
+	case thr < 0:
+		return -thr, false
+	}
+	return thr, true
 }
 
 // warpInstsTotal returns the device-wide warp-instruction count while shard
@@ -119,6 +330,18 @@ func (g *GPU) mergeShards() {
 // installed the kernel context.
 func (g *GPU) launchParallel(l *emu.Launch) error {
 	workers := g.workerCount()
+	thr, demoteOK := g.adaptivePolicy()
+	if demoteOK && (workers == 1 || runtime.GOMAXPROCS(0) == 1) {
+		// Whole-engine demotion: the pool could never run two phases bodies
+		// at once, so every barrier would be pure overhead. The serial loop
+		// body composes with the live shard collectors (its budget check
+		// sums them), and mergeShards at the boundary leaves Col exactly as
+		// a serial run would.
+		g.Phases.Demoted = true
+		defer g.mergeShards()
+		return g.runSerialLoop(l)
+	}
+
 	pool := newWorkerPool(workers)
 	defer pool.close()
 
@@ -143,40 +366,117 @@ func (g *GPU) launchParallel(l *emu.Launch) error {
 	serialMem := g.traced
 	frozen := make([]bool, len(g.sms))
 
+	// Per-phase participant counts, and the phase bodies bound once per
+	// launch (they read g.cycle and the frozen slice directly, so the cycle
+	// loop allocates no closures).
+	kp := workers
+	if kp > len(g.parts) {
+		kp = len(g.parts)
+	}
+	ks := workers // workerCount already capped at the SM count
+	partPhase := func(w int) {
+		now := g.cycle
+		for i := w; i < len(g.parts); i += kp {
+			g.parts[i].step(now)
+		}
+	}
+	memPhase := func(w int) {
+		now := g.cycle
+		for i := w; i < len(g.sms); i += ks {
+			frozen[i] = g.sms[i].StepMem(now)
+		}
+	}
+	fusedPhase := func(w int) {
+		now := g.cycle
+		for i := w; i < len(g.parts); i += workers {
+			g.parts[i].step(now)
+		}
+		for i := w; i < len(g.sms); i += workers {
+			frozen[i] = g.sms[i].StepMem(now)
+		}
+	}
+
 	for {
-		// Phase 1 (serial): reply delivery, which mutates SM state.
-		g.replyNet.Step(g.cycle)
+		now := g.cycle
+		g.Phases.SteppedCycles++
 
-		// Phase 2 (parallel): partitions — DRAM, L2 hits, reply staging,
-		// request service — each touching only its own state and shard.
-		pool.runPhase(func(w int) {
-			for i := w; i < len(g.parts); i += workers {
-				g.parts[i].step(g.cycle)
-			}
-		})
-		g.replyNet.CommitInjects()
-		for _, p := range g.parts {
-			p.drainReleases()
+		// Fusion legality is decided from pre-phase state: nothing before
+		// the respective Step calls can enqueue an undeferred packet, so a
+		// network quiet at the top of the cycle is still quiet when the
+		// serial order would have scanned it.
+		replyQuiet := g.replyNet.QuietAt(now)
+		reqQuiet := g.reqNet.QuietAt(now)
+
+		// Phase 1 (serial): reply delivery, which mutates SM state; a quiet
+		// network's scan is a proven no-op and is elided.
+		if !replyQuiet {
+			g.replyNet.Step(now)
 		}
 
-		// Phase 3 (serial): request delivery, which mutates partition state.
-		g.reqNet.Step(g.cycle)
-
-		// Phase 4 (parallel): SM memory pipelines — completions, LD/ST
-		// retries, L1 accesses, staged request injection. No functional
-		// execution happens here (see SM.StepMem).
-		if serialMem {
-			for i, s := range g.sms {
-				frozen[i] = s.StepMem(g.cycle)
-			}
-		} else {
-			pool.runPhase(func(w int) {
-				for i := w; i < len(g.sms); i += workers {
-					frozen[i] = g.sms[i].StepMem(g.cycle)
+		if reqQuiet && !serialMem {
+			// Fused phases 2–4: request delivery would be a no-op, so the
+			// partitions and the SM memory pipelines — which only interact
+			// through the networks, and whose injections are staged per
+			// source either way — share one concurrent phase and one
+			// barrier. The serial merges land in the usual order after it.
+			g.Phases.FusedCycles++
+			if thr > 0 && g.activeParts(now)+g.activeSMs(now) < thr {
+				g.Phases.InlinePhases++
+				for _, p := range g.parts {
+					p.step(now)
 				}
-			})
+				for i, s := range g.sms {
+					frozen[i] = s.StepMem(now)
+				}
+			} else {
+				g.Phases.PooledPhases++
+				pool.runPhase(workers, fusedPhase)
+			}
+			g.replyNet.CommitInjects()
+			for _, p := range g.parts {
+				p.drainReleases()
+			}
+			g.reqNet.CommitInjects()
+		} else {
+			// Phase 2 (parallel): partitions — DRAM, L2 hits, reply staging,
+			// request service — each touching only its own state and shard.
+			if thr > 0 && g.activeParts(now) < thr {
+				g.Phases.InlinePhases++
+				for _, p := range g.parts {
+					p.step(now)
+				}
+			} else {
+				g.Phases.PooledPhases++
+				pool.runPhase(kp, partPhase)
+			}
+			g.replyNet.CommitInjects()
+			for _, p := range g.parts {
+				p.drainReleases()
+			}
+
+			// Phase 3 (serial): request delivery, which mutates partitions.
+			if !reqQuiet {
+				g.reqNet.Step(now)
+			}
+
+			// Phase 4 (parallel): SM memory pipelines — completions, LD/ST
+			// retries, L1 accesses, staged request injection. No functional
+			// execution happens here (see SM.StepMem).
+			if serialMem {
+				for i, s := range g.sms {
+					frozen[i] = s.StepMem(now)
+				}
+			} else if thr > 0 && g.activeSMs(now) < thr {
+				g.Phases.InlinePhases++
+				for i, s := range g.sms {
+					frozen[i] = s.StepMem(now)
+				}
+			} else {
+				g.Phases.PooledPhases++
+				pool.runPhase(ks, memPhase)
+			}
+			g.reqNet.CommitInjects()
 		}
-		g.reqNet.CommitInjects()
 
 		// Phase 5 (serial, SM-id order): instruction issue. Warps execute
 		// functionally here — the only reads/writes of shared simulated
@@ -185,7 +485,7 @@ func (g *GPU) launchParallel(l *emu.Launch) error {
 			if frozen[i] {
 				continue
 			}
-			if err := s.StepIssue(g.cycle); err != nil {
+			if err := s.StepIssue(now); err != nil {
 				return err
 			}
 		}
@@ -223,4 +523,28 @@ func (g *GPU) launchParallel(l *emu.Launch) error {
 			}
 		}
 	}
+}
+
+// activeParts counts partitions whose step(now) would do real work; the
+// adaptive controller's occupancy probe for the partition phase.
+func (g *GPU) activeParts(now int64) int {
+	n := 0
+	for _, p := range g.parts {
+		if !p.quietAt(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// activeSMs counts SMs whose StepMem(now) would do more than advance the
+// occupancy counters; the adaptive controller's probe for the SM phase.
+func (g *GPU) activeSMs(now int64) int {
+	n := 0
+	for _, s := range g.sms {
+		if !s.MemQuietAt(now) {
+			n++
+		}
+	}
+	return n
 }

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -52,7 +53,7 @@ func TestWorkerPoolPhases(t *testing.T) {
 	var inFlight, maxInFlight, calls int64
 	seen := make([]int64, n)
 	for phase := 0; phase < 50; phase++ {
-		pool.runPhase(func(w int) {
+		pool.runPhase(n, func(w int) {
 			cur := atomic.AddInt64(&inFlight, 1)
 			for {
 				old := atomic.LoadInt64(&maxInFlight)
@@ -79,6 +80,225 @@ func TestWorkerPoolPhases(t *testing.T) {
 	}
 	if maxInFlight > n {
 		t.Errorf("max in-flight %d exceeds pool size %d", maxInFlight, n)
+	}
+}
+
+// TestWorkerPoolClampsParticipants checks the per-phase participant count:
+// a phase over fewer items than workers must only involve the first k
+// workers (the old pool spun every worker on empty subsets), and a k beyond
+// the pool size must clamp to it.
+func TestWorkerPoolClampsParticipants(t *testing.T) {
+	const n = 4
+	pool := newWorkerPool(n)
+	defer pool.close()
+
+	var seen [n]int64
+	for phase := 0; phase < 20; phase++ {
+		pool.runPhase(2, func(w int) {
+			atomic.AddInt64(&seen[w], 1)
+		})
+	}
+	for w := 0; w < 2; w++ {
+		if got := atomic.LoadInt64(&seen[w]); got != 20 {
+			t.Errorf("participant worker %d ran %d phases, want 20", w, got)
+		}
+	}
+	for w := 2; w < n; w++ {
+		if got := atomic.LoadInt64(&seen[w]); got != 0 {
+			t.Errorf("excluded worker %d ran %d phases, want 0", w, got)
+		}
+	}
+
+	// k beyond the pool size clamps; every worker participates exactly once.
+	seen = [n]int64{}
+	pool.runPhase(n+5, func(w int) {
+		atomic.AddInt64(&seen[w], 1)
+	})
+	for w := 0; w < n; w++ {
+		if got := atomic.LoadInt64(&seen[w]); got != 1 {
+			t.Errorf("clamped phase: worker %d ran %d times, want 1", w, got)
+		}
+	}
+
+	// k <= 1 runs inline on the caller.
+	var inline int64
+	pool.runPhase(1, func(w int) {
+		if w != 0 {
+			t.Errorf("inline phase got worker index %d", w)
+		}
+		atomic.AddInt64(&inline, 1)
+	})
+	if inline != 1 {
+		t.Errorf("inline phase ran %d times, want 1", inline)
+	}
+}
+
+// TestWorkerPoolPanicPropagates is the satellite regression test: a panic
+// inside a phase function must not kill the worker and deadlock the next
+// barrier — it must surface to the runPhase caller as *PhasePanicError, and
+// the pool must stay usable afterwards.
+func TestWorkerPoolPanicPropagates(t *testing.T) {
+	const n = 4
+	pool := newWorkerPool(n)
+	defer pool.close()
+
+	caught := func() (pe *PhasePanicError) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			var ok bool
+			if pe, ok = r.(*PhasePanicError); !ok {
+				t.Fatalf("recovered %T (%v), want *PhasePanicError", r, r)
+			}
+		}()
+		pool.runPhase(n, func(w int) {
+			if w == 2 {
+				panic("phase boom")
+			}
+		})
+		return nil
+	}()
+	if caught == nil {
+		t.Fatal("worker panic did not propagate out of runPhase")
+	}
+	if caught.Worker != 2 || caught.Value != "phase boom" {
+		t.Errorf("panic = worker %d value %v, want worker 2 value \"phase boom\"", caught.Worker, caught.Value)
+	}
+	if len(caught.Stack) == 0 {
+		t.Error("panic carries no stack")
+	}
+
+	// The barrier released and the slot cleared: the pool still works.
+	var calls int64
+	pool.runPhase(n, func(w int) { atomic.AddInt64(&calls, 1) })
+	if calls != n {
+		t.Errorf("post-panic phase ran %d workers, want %d", calls, n)
+	}
+}
+
+// TestAdaptivePolicyResolution pins the Config → controller mapping: off
+// unless Adaptive, default threshold 3, explicit thresholds honoured, and
+// the negative test hook (magnitude, demotion disabled).
+func TestAdaptivePolicyResolution(t *testing.T) {
+	cfg := testConfig()
+	cfg.Parallel = true
+	g := MustNew(cfg, mem.New(), stats.New())
+
+	if thr, _ := g.adaptivePolicy(); thr != 0 {
+		t.Errorf("Adaptive off: threshold = %d, want 0", thr)
+	}
+	g.cfg.Adaptive = true
+	if thr, demote := g.adaptivePolicy(); thr != defaultAdaptiveThreshold || !demote {
+		t.Errorf("default policy = (%d, %v), want (%d, true)", thr, demote, defaultAdaptiveThreshold)
+	}
+	g.cfg.AdaptiveThreshold = 5
+	if thr, demote := g.adaptivePolicy(); thr != 5 || !demote {
+		t.Errorf("explicit policy = (%d, %v), want (5, true)", thr, demote)
+	}
+	g.cfg.AdaptiveThreshold = -4
+	if thr, demote := g.adaptivePolicy(); thr != 4 || demote {
+		t.Errorf("hook policy = (%d, %v), want (4, false)", thr, demote)
+	}
+}
+
+// TestAdaptiveDemotesOnOneWorker: with one worker the pool can never overlap
+// phase bodies, so the adaptive engine must run the serial loop body — and
+// still match the plain parallel engine's artifacts exactly.
+func TestAdaptiveDemotesOnOneWorker(t *testing.T) {
+	const n = 256
+	run := func(cfg Config) (*stats.Collector, int64, PhaseStats) {
+		m := mem.New()
+		a, b, c := uint32(0x1000), uint32(0x5000), uint32(0x9000)
+		for i := uint32(0); i < n; i++ {
+			m.Write32(a+4*i, i)
+			m.Write32(b+4*i, 2*i)
+		}
+		col := stats.New()
+		g := MustNew(cfg, m, col)
+		if err := g.LaunchKernel(launchOf(t, vecAddSrc, "vecadd", n/64, 64, a, b, c, n)); err != nil {
+			t.Fatalf("LaunchKernel: %v", err)
+		}
+		return col, g.Cycle(), g.Phases
+	}
+
+	base := testConfig()
+	base.Parallel = true
+	base.Workers = 1
+	wantCol, wantCycles, _ := run(base)
+
+	ad := base
+	ad.Adaptive = true
+	gotCol, gotCycles, phases := run(ad)
+
+	if !phases.Demoted {
+		t.Error("adaptive engine did not demote with Workers=1")
+	}
+	if phases.SteppedCycles != 0 || phases.PooledPhases != 0 {
+		t.Errorf("demoted launch recorded phase-loop work: %+v", phases)
+	}
+	if gotCycles != wantCycles {
+		t.Errorf("cycles = %d, want %d", gotCycles, wantCycles)
+	}
+	if gotCol.WarpInsts != wantCol.WarpInsts || gotCol.GPUCycles != wantCol.GPUCycles {
+		t.Errorf("collector diverges: warpInsts %d/%d cycles %d/%d",
+			gotCol.WarpInsts, wantCol.WarpInsts, gotCol.GPUCycles, wantCol.GPUCycles)
+	}
+}
+
+// TestAdaptiveTransitionsExercisePool: the negative-threshold hook keeps the
+// phase loop live on any host, and a real workload must drive the controller
+// through both decisions — some phases pooled (occupancy at or above the
+// threshold), some inline (below it) — plus fused cycles on the quiet path.
+func TestAdaptiveTransitionsExercisePool(t *testing.T) {
+	const n = 256
+	m := mem.New()
+	a, b, c := uint32(0x1000), uint32(0x5000), uint32(0x9000)
+	for i := uint32(0); i < n; i++ {
+		m.Write32(a+4*i, i)
+		m.Write32(b+4*i, 2*i)
+	}
+	cfg := testConfig()
+	cfg.Parallel = true
+	cfg.Workers = 4
+	cfg.Adaptive = true
+	cfg.AdaptiveThreshold = -4 // exercise transitions even on one core
+	g := MustNew(cfg, m, stats.New())
+	if err := g.LaunchKernel(launchOf(t, vecAddSrc, "vecadd", n/64, 64, a, b, c, n)); err != nil {
+		t.Fatalf("LaunchKernel: %v", err)
+	}
+	p := g.Phases
+	if p.Demoted {
+		t.Fatal("negative threshold must disable whole-engine demotion")
+	}
+	if p.SteppedCycles == 0 {
+		t.Fatal("phase loop never ran")
+	}
+	if p.PooledPhases == 0 || p.InlinePhases == 0 {
+		t.Errorf("controller never transitioned: pooled %d, inline %d (stepped %d)",
+			p.PooledPhases, p.InlinePhases, p.SteppedCycles)
+	}
+	if p.FusedCycles == 0 {
+		t.Errorf("no fused cycles in %d stepped cycles", p.SteppedCycles)
+	}
+}
+
+// BenchmarkPhaseBarrier isolates the cost of one runPhase round trip — the
+// number the tentpole optimisation targets (the old channel-handoff pool
+// paid 2·workers channel operations per phase).
+func BenchmarkPhaseBarrier(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := newWorkerPool(workers)
+			defer pool.close()
+			var sink [16]int64
+			fn := func(w int) { sink[w]++ }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.runPhase(workers, fn)
+			}
+		})
 	}
 }
 

@@ -141,6 +141,15 @@ func (p *partition) step(now int64) {
 	}
 }
 
+// quietAt reports whether step(now) would return without doing anything: a
+// valid quiet cache proves no completion, retry, or injection can happen at
+// now. The parallel engine's adaptive controller counts quiet partitions to
+// decide whether fanning the partition phase out to workers is worth the
+// barrier. Only meaningful under fast-forward (p.quiet stays 0 otherwise).
+func (p *partition) quietAt(now int64) bool {
+	return now < p.quiet
+}
+
 func (p *partition) stepOnce(now int64) {
 	p.ch.Step(now)
 

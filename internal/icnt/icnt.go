@@ -185,6 +185,17 @@ func (n *Network) CommitInjects() {
 // serial differential-testing oracle keeps scanning every cycle.
 func (n *Network) SetFastForward(on bool) { n.fastForward = on }
 
+// QuietAt reports whether Step(now) would return without delivering a packet
+// or mutating any state: nothing is queued, or a valid quiet cache proves no
+// head packet can move at now. This is the parallel engine's fusion-legality
+// hook — a quiet network's serial delivery phase is a no-op, so the engine
+// may skip it and fuse the concurrent phases on either side. Staged
+// (deferred, uncommitted) injections are not covered; callers must commit
+// before the next cycle's query, which the engine's serial merge phase does.
+func (n *Network) QuietAt(now int64) bool {
+	return n.pending == 0 || now < n.quietUntil
+}
+
 // Step advances the network one cycle: every source may deliver its head
 // packet when its transmit port, the packet's destination port, and the
 // traversal latency all allow it. Head-of-line blocking is intentional. The

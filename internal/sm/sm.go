@@ -488,6 +488,16 @@ func (s *SM) StepMem(now int64) bool {
 	return false
 }
 
+// MemQuietAt reports whether StepMem(now) would freeze immediately: a valid
+// stall cache proves no completion, retry, or injection can happen at now, so
+// the call would only advance the occupancy counters. The parallel engine's
+// adaptive controller uses this as its per-cycle occupancy probe — a quiet
+// StepMem is too cheap to be worth a worker handoff. Only meaningful under
+// fast-forward (the stall cache stays 0 otherwise, reporting never-quiet).
+func (s *SM) MemQuietAt(now int64) bool {
+	return now < s.stallUntil
+}
+
 // StepIssue runs the issue half of a cycle: the warp schedulers (functionally
 // executing the chosen instructions), the stall-cache refresh, and the
 // occupancy statistics. It must only be called after StepMem(now) returned

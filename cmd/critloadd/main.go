@@ -12,32 +12,30 @@
 //	critloadd -cache 1024 -queue 512  # larger result cache and job queue
 //	critloadd -cache-dir /var/cache/critload   # on-disk checkpoint store so
 //	                                  # jobs with reuse_checkpoints warm-start
+//	critloadd -data-dir /var/lib/critload      # durable job tier: journal +
+//	                                  # result store, crash recovery on start
 //	critloadd -log-format json        # machine-readable logs
 //	critloadd -pprof localhost:6060   # expose net/http/pprof separately
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"log/slog"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
-	"critload/internal/checkpoint"
+	"critload/internal/daemon"
 	"critload/internal/jobs"
 	"critload/internal/obsv"
-	"critload/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8321", "listen address")
+	addrFile := flag.String("addr-file", "",
+		"write the bound listen address to this file once serving (for harnesses using :0)")
 	workers := flag.Int("workers", 0, "simulation workers (0 = one per CPU)")
 	queue := flag.Int("queue", jobs.DefaultQueueDepth, "job queue depth")
 	cacheEntries := flag.Int("cache", jobs.DefaultCacheEntries,
@@ -46,9 +44,13 @@ func main() {
 		"on-disk cache directory; checkpoints live under <cache-dir>/checkpoints (empty disables checkpoint reuse)")
 	cacheDiskBytes := flag.Int64("cache-disk-bytes", 1<<30,
 		"eviction budget in bytes for the on-disk cache directory (0 = unbounded)")
+	dataDir := flag.String("data-dir", "",
+		"durable state directory; the job journal lives under <data-dir>/journal and results under <data-dir>/results (empty disables durability)")
+	dataDiskBytes := flag.Int64("data-disk-bytes", 1<<30,
+		"eviction budget in bytes for the on-disk result store (0 = unbounded)")
 	grace := flag.Duration("grace", 30*time.Second,
 		"shutdown grace period for draining running jobs")
-	idleTimeout := flag.Duration("idle-timeout", defaultIdleTimeout,
+	idleTimeout := flag.Duration("idle-timeout", daemon.DefaultIdleTimeout,
 		"reap keep-alive connections idle this long (0 disables reaping)")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -56,119 +58,26 @@ func main() {
 		"serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
-	log := obsv.NewLogger(os.Stderr, *logFormat, obsv.ParseLevel(*logLevel))
-	if err := run(log, *addr, *pprofAddr, *cacheDir, *workers, *queue, *cacheEntries,
-		*cacheDiskBytes, *grace, *idleTimeout); err != nil {
-		fmt.Fprintln(os.Stderr, "critloadd:", err)
-		os.Exit(1)
-	}
-}
-
-func run(log *slog.Logger, addr, pprofAddr, cacheDir string, workers, queue, cacheEntries int,
-	cacheDiskBytes int64, grace, idleTimeout time.Duration) error {
-	var ckpts *checkpoint.Store
-	if cacheDir != "" {
-		var err error
-		ckpts, err = checkpoint.Open(filepath.Join(cacheDir, "checkpoints"), cacheDiskBytes)
-		if err != nil {
-			return fmt.Errorf("opening checkpoint store: %w", err)
-		}
-		log.Info("checkpoint store open", "dir", ckpts.Dir(), "budget_bytes", cacheDiskBytes)
-	}
-	mgr, err := jobs.NewManager(jobs.Config{
-		Workers:      workers,
-		QueueDepth:   queue,
-		CacheEntries: cacheEntries,
-		Runner:       server.SimRunnerWith(ckpts),
-	})
-	if err != nil {
-		return err
-	}
-
-	httpSrv := newAPIServer(addr,
-		server.New(mgr, server.WithLogger(log), server.WithCheckpoints(ckpts)), idleTimeout)
-
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	if pprofAddr != "" {
-		pprofSrv := pprofServer(pprofAddr)
-		defer pprofSrv.Close()
-		go func() {
-			log.Info("pprof listening", "addr", pprofAddr)
-			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-				log.Error("pprof server", "error", err)
-			}
-		}()
+	err := daemon.Run(ctx, daemon.Config{
+		Addr:           *addr,
+		AddrFile:       *addrFile,
+		PprofAddr:      *pprofAddr,
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
+		CacheDiskBytes: *cacheDiskBytes,
+		DataDir:        *dataDir,
+		DataDiskBytes:  *dataDiskBytes,
+		Grace:          *grace,
+		IdleTimeout:    *idleTimeout,
+		Log:            obsv.NewLogger(os.Stderr, *logFormat, obsv.ParseLevel(*logLevel)),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "critloadd:", err)
+		os.Exit(1)
 	}
-
-	errCh := make(chan error, 1)
-	go func() {
-		log.Info("listening", "addr", addr, "workers", workers, "queue", queue, "cache", cacheEntries)
-		errCh <- httpSrv.ListenAndServe()
-	}()
-
-	select {
-	case err := <-errCh:
-		return err
-	case <-ctx.Done():
-	}
-
-	// Graceful shutdown: stop accepting connections, then drain the pool;
-	// running jobs get the full grace period before their contexts are
-	// cancelled.
-	log.Info("shutting down, draining jobs", "grace", grace)
-	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
-	defer cancel()
-	if err := httpSrv.Shutdown(graceCtx); err != nil {
-		log.Warn("http shutdown", "error", err)
-	}
-	if err := mgr.Close(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
-		return fmt.Errorf("draining jobs: %w", err)
-	}
-	log.Info("drained")
-	return nil
-}
-
-// defaultIdleTimeout reaps keep-alive connections that have sat idle for
-// two minutes. Before it existed, a soak's worth of pooled client
-// connections (or a slow leak of abandoned ones) accumulated unboundedly —
-// each holding a file descriptor and a read buffer for the daemon's
-// lifetime.
-const defaultIdleTimeout = 2 * time.Minute
-
-// newAPIServer builds the public API's http.Server with its timeout
-// policy:
-//
-//   - ReadHeaderTimeout bounds a slow-loris header dribble.
-//   - ReadTimeout bounds reading one full request (headers + the ≤4 MiB
-//     body). It does not bound handler execution: net/http clears the read
-//     deadline once the handler takes over the connection's background
-//     read.
-//   - IdleTimeout reaps parked keep-alive connections between requests.
-//   - WriteTimeout deliberately stays 0: GET /v1/jobs/{id}?wait_ms=N holds
-//     the response open for a caller-chosen long-poll window, and a write
-//     deadline would sever those (and slow multi-minute simulate results)
-//     mid-response. Job wall time is bounded per job via timeout_ms
-//     instead.
-func newAPIServer(addr string, h http.Handler, idleTimeout time.Duration) *http.Server {
-	return &http.Server{
-		Addr:              addr,
-		Handler:           h,
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		IdleTimeout:       idleTimeout,
-	}
-}
-
-// pprofServer builds the profiling endpoint on its own mux and listener so
-// the profiler is never exposed on the public API address.
-func pprofServer(addr string) *http.Server {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 }

@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bufio"
@@ -27,7 +27,7 @@ func startAPIServer(t *testing.T, idleTimeout time.Duration, runner jobs.Runner)
 	if err != nil {
 		t.Fatalf("NewManager: %v", err)
 	}
-	srv := newAPIServer("", server.New(mgr), idleTimeout)
+	srv := NewAPIServer("", server.New(mgr), idleTimeout)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("Listen: %v", err)

@@ -2,13 +2,18 @@ package jobs
 
 import (
 	"context"
+	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"critload/internal/journal"
 )
 
 // Runner executes one spec and returns its result. Implementations must
@@ -70,6 +75,22 @@ type Config struct {
 	MaxJobs int
 	// Runner executes specs. Required.
 	Runner Runner
+
+	// JournalDir enables the durable tier: every job transition is logged
+	// to a write-ahead journal in this directory, replayed on the next
+	// start to rebuild the queue after a crash. Empty disables journaling.
+	JournalDir string
+	// JournalSegmentBytes overrides the journal's segment rotation
+	// threshold (0 = journal.DefaultSegmentBytes).
+	JournalSegmentBytes int64
+	// JournalNoSync disables fsync on journal appends. Tests only: it
+	// trades away the durability the journal exists for.
+	JournalNoSync bool
+	// Results, when non-nil, backs the in-memory result cache with an
+	// on-disk content-addressed store: completed results are persisted
+	// before their journal record, cache misses fall through to disk, and
+	// recovery serves replayed jobs from it instead of re-simulating.
+	Results *ResultStore
 }
 
 // Default sizes.
@@ -145,31 +166,35 @@ type JobInfo struct {
 	// Progress is the runner's latest heartbeat, present only while the job
 	// is running and the runner has reported.
 	Progress *Progress `json:"progress,omitempty"`
-	Result   any       `json:"result,omitempty"`
+	// Recovered marks a job rebuilt from the journal after a restart
+	// rather than submitted through this process's API.
+	Recovered bool `json:"recovered,omitempty"`
+	Result    any  `json:"result,omitempty"`
 }
 
 // job is the mutable record behind a JobInfo; every field is guarded by the
 // manager's mutex.
 type job struct {
-	id       string
-	spec     Spec
-	key      Key
-	state    State
-	err      error
-	result   any
-	cacheHit bool
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	done     chan struct{}
-	exec     *execution
+	id        string
+	spec      Spec
+	key       Key
+	state     State
+	err       error
+	result    any
+	cacheHit  bool
+	recovered bool
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+	exec      *execution
 }
 
 func (j *job) infoLocked() JobInfo {
 	info := JobInfo{
 		ID: j.id, Spec: j.spec, Key: j.key.String(), State: j.state,
-		CacheHit: j.cacheHit, Created: j.created, Started: j.started,
-		Finished: j.finished, Result: j.result,
+		CacheHit: j.cacheHit, Recovered: j.recovered, Created: j.created,
+		Started: j.started, Finished: j.finished, Result: j.result,
 	}
 	if j.err != nil {
 		info.Error = j.err.Error()
@@ -202,33 +227,71 @@ type execution struct {
 // Manager owns the job registry, the worker pool, the in-flight dedup table
 // and the result cache.
 type Manager struct {
-	cfg   Config
-	pool  *Pool
-	cache *resultCache
-	c     counters
-	obs   atomic.Pointer[ExecutionObserver]
+	cfg     Config
+	pool    *Pool
+	cache   *resultCache
+	results *ResultStore
+	c       counters
+	obs     atomic.Pointer[ExecutionObserver]
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	inflight  map[Key]*execution
-	doneOrder []string // finished job ids, oldest first, for retention
-	nextID    int64
-	closed    bool
+	mu            sync.Mutex
+	journal       *journal.Journal
+	journalClosed bool
+	jobs          map[string]*job
+	inflight      map[Key]*execution
+	doneOrder     []string // finished job ids, oldest first, for retention
+	nextID        int64
+	closed        bool
+	recovering    bool
+	recovery      RecoveryInfo
 }
 
-// NewManager builds and starts a manager; callers must Close it.
+// NewManager builds and starts a manager; callers must Close it. When
+// cfg.JournalDir is set, the journal is replayed first: jobs that were
+// terminal at the last shutdown are restored as history, jobs that were
+// queued or running are completed from the result store when possible and
+// re-enqueued otherwise — a corrupt journal degrades to a shorter replay
+// (worst case an empty queue), never a failed start.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg, err := cfg.withDefaults(DefaultLimits)
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:      cfg,
 		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
 		cache:    newResultCache(cfg.CacheEntries),
+		results:  cfg.Results,
 		jobs:     map[string]*job{},
 		inflight: map[Key]*execution{},
-	}, nil
+	}
+	if cfg.JournalDir != "" {
+		rs := newReplayState()
+		jnl, err := journal.Open(cfg.JournalDir, journal.Options{
+			SegmentBytes: cfg.JournalSegmentBytes, NoSync: cfg.JournalNoSync,
+		}, rs.apply)
+		if err != nil {
+			m.pool.Close()
+			return nil, fmt.Errorf("jobs: open journal: %w", err)
+		}
+		m.journal = jnl
+		m.recover(rs)
+	}
+	return m, nil
+}
+
+// Journal returns the manager's write-ahead journal, or nil when the
+// durable tier is disabled. The service layer reads its stats for /metrics.
+func (m *Manager) Journal() *journal.Journal { return m.journal }
+
+// Results returns the on-disk result store, or nil when none is configured.
+func (m *Manager) Results() *ResultStore { return m.results }
+
+// Recovery returns what the last startup replay did.
+func (m *Manager) Recovery() RecoveryInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovery
 }
 
 // Stats snapshots the manager's counters.
@@ -249,11 +312,20 @@ func (m *Manager) SetExecutionObserver(fn ExecutionObserver) {
 // cached result completes the job immediately; a matching in-flight
 // execution is joined instead of re-simulated; otherwise the spec is queued
 // on the pool, failing fast with ErrQueueFull when it is saturated.
+//
+// With journaling enabled the submission record is fsync'd before Submit
+// returns: an acknowledged job survives a crash. A journal write failure
+// therefore fails the Submit — durability the daemon cannot provide must
+// not be silently promised.
 func (m *Manager) Submit(spec Spec) (JobInfo, error) {
 	if err := spec.Validate(); err != nil {
 		return JobInfo{}, err
 	}
 	key := spec.Key()
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("jobs: encoding spec: %w", err)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -267,6 +339,11 @@ func (m *Manager) Submit(spec Spec) (JobInfo, error) {
 		state:   StateQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
+	}
+	if err := m.journalAppend(journal.Record{
+		Type: journal.TypeSubmitted, At: j.created, ID: j.id, Data: specJSON,
+	}, true); err != nil {
+		return JobInfo{}, fmt.Errorf("jobs: journaling submission: %w", err)
 	}
 
 	if v, ok := m.cache.get(key); ok {
@@ -288,7 +365,18 @@ func (m *Manager) Submit(spec Spec) (JobInfo, error) {
 			j.started = time.Now()
 			m.c.queued.Add(-1)
 			m.c.running.Add(1)
+			m.journalAppend(journal.Record{Type: journal.TypeStarted, At: j.started, ID: j.id}, false)
 		}
+		return j.infoLocked(), nil
+	}
+
+	// The in-memory cache missed; the on-disk store may still hold the
+	// result from an earlier process.
+	if v, ok := m.resultFromStore(key); ok {
+		m.registerLocked(j)
+		m.c.diskHits.Add(1)
+		j.cacheHit = true
+		m.finalizeLocked(j, StateDone, v, nil)
 		return j.infoLocked(), nil
 	}
 
@@ -301,12 +389,46 @@ func (m *Manager) Submit(spec Spec) (JobInfo, error) {
 	e := &execution{spec: spec, key: key, ctx: ctx, cancel: cancel, jobs: []*job{j}}
 	if err := m.pool.TrySubmit(func() { m.run(e) }); err != nil {
 		cancel()
+		// The submission record is already durable; mark the job cancelled
+		// so a crash before the next compaction does not resurrect it.
+		m.journalAppend(journal.Record{Type: journal.TypeCancelled, At: time.Now(), ID: j.id}, false)
 		return JobInfo{}, err
 	}
 	j.exec = e
 	m.inflight[key] = e
 	m.registerLocked(j)
 	return j.infoLocked(), nil
+}
+
+// resultFromStore fetches a completed result from the on-disk store,
+// warming the in-memory cache on a hit. The raw stored JSON is returned:
+// it re-serializes byte-identically to the original result.
+func (m *Manager) resultFromStore(key Key) (any, bool) {
+	if m.results == nil {
+		return nil, false
+	}
+	raw, ok := m.results.Get(key)
+	if !ok {
+		return nil, false
+	}
+	m.cache.add(key, raw)
+	return raw, true
+}
+
+// journalAppend writes one record when journaling is enabled. A failed
+// synced append surfaces the error — the caller is about to acknowledge
+// the transition as durable; a failed unsynced append is only counted.
+func (m *Manager) journalAppend(r journal.Record, sync bool) error {
+	if m.journal == nil {
+		return nil
+	}
+	if err := m.journal.Append(r, sync); err != nil {
+		m.c.journalErrors.Add(1)
+		if sync {
+			return err
+		}
+	}
+	return nil
 }
 
 // registerLocked adds the job to the registry and the queued gauge (every
@@ -335,11 +457,15 @@ func (m *Manager) run(e *execution) {
 	e.started = true
 	now := time.Now()
 	e.progress = newProgressTracker(now)
+	if m.journal != nil {
+		e.progress.onReport = m.progressJournalHook(e.jobs[0].id)
+	}
 	for _, j := range e.jobs {
 		j.state = StateRunning
 		j.started = now
 		m.c.queued.Add(-1)
 		m.c.running.Add(1)
+		m.journalAppend(journal.Record{Type: journal.TypeStarted, At: now, ID: j.id}, false)
 	}
 	ctx, spec := withProgress(e.ctx, e.progress), e.spec
 	m.mu.Unlock()
@@ -351,6 +477,16 @@ func (m *Manager) run(e *execution) {
 	m.c.wallNanos.Add(uint64(wall))
 	if obs := m.obs.Load(); obs != nil {
 		(*obs)(spec, wall, err)
+	}
+
+	// Persist the result before the completed record is journalled (from
+	// finalizeLocked below): a completed record must never refer to a
+	// result the filesystem does not hold. On a store failure the record
+	// is withheld (see journalTerminalLocked) so recovery re-runs the job.
+	if err == nil && m.results != nil {
+		if perr := m.results.Put(e.key, res); perr != nil {
+			m.c.journalErrors.Add(1)
+		}
 	}
 
 	m.mu.Lock()
@@ -411,10 +547,62 @@ func (m *Manager) finalizeLocked(j *job, s State, res any, err error) {
 	case StateCancelled:
 		m.c.cancelled.Add(1)
 	}
+	m.journalTerminalLocked(j)
 	m.doneOrder = append(m.doneOrder, j.id)
 	for len(m.jobs) > m.cfg.MaxJobs && len(m.doneOrder) > 0 {
 		delete(m.jobs, m.doneOrder[0])
 		m.doneOrder = m.doneOrder[1:]
+	}
+}
+
+// journalTerminalLocked records a job's terminal transition. Recovery
+// writes its outcome through compaction instead, and a completed record is
+// withheld when the result store failed to persist the result — replay
+// then sees the job as still live and re-runs it, which is idempotent.
+func (m *Manager) journalTerminalLocked(j *job) {
+	if m.journal == nil || m.recovering {
+		return
+	}
+	r := journal.Record{At: j.finished, ID: j.id}
+	switch j.state {
+	case StateDone:
+		if m.results != nil && !m.results.Has(j.key) {
+			return
+		}
+		r.Type = journal.TypeCompleted
+	case StateFailed:
+		r.Type = journal.TypeFailed
+		if j.err != nil {
+			r.Data = []byte(j.err.Error())
+		}
+	case StateCancelled:
+		r.Type = journal.TypeCancelled
+	default:
+		return
+	}
+	m.journalAppend(r, true)
+}
+
+// journalProgressEvery throttles progressed records: heartbeats are
+// write-buffer-only (never fsync'd) and purely diagnostic, so one every
+// few seconds is plenty.
+const journalProgressEvery = 5 * time.Second
+
+// progressJournalHook returns the throttled heartbeat callback installed
+// on an execution's progress tracker. The payload is the 16-byte
+// little-endian (cycles, warp instructions) pair.
+func (m *Manager) progressJournalHook(id string) func(int64, uint64) {
+	var last atomic.Int64
+	return func(cycles int64, warpInsts uint64) {
+		now := time.Now()
+		prev := last.Load()
+		if now.UnixNano()-prev < int64(journalProgressEvery) || !last.CompareAndSwap(prev, now.UnixNano()) {
+			return
+		}
+		var data [16]byte
+		binary.LittleEndian.PutUint64(data[:8], uint64(cycles))
+		binary.LittleEndian.PutUint64(data[8:], warpInsts)
+		m.journalAppend(journal.Record{Type: journal.TypeProgressed, At: now, ID: id, Data: data[:]}, false)
 	}
 }
 
@@ -482,7 +670,9 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobInfo, error) {
 // Close stops accepting jobs and drains the pool: running and queued
 // executions complete. If ctx expires first, every in-flight execution's
 // context is cancelled and Close waits for the (now aborting) workers
-// before returning ctx's error.
+// before returning ctx's error. With journaling enabled the drained
+// journal is compacted to the retained jobs and closed, so the next start
+// replays a minimal, clean log.
 func (m *Manager) Close(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
@@ -493,9 +683,9 @@ func (m *Manager) Close(ctx context.Context) error {
 		m.pool.Close()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		m.mu.Lock()
 		for _, e := range m.inflight {
@@ -503,6 +693,66 @@ func (m *Manager) Close(ctx context.Context) error {
 		}
 		m.mu.Unlock()
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	m.closeJournal()
+	return err
+}
+
+// closeJournal compacts the journal down to the retained jobs and closes
+// it. Best-effort: a failed compaction leaves the full (still valid)
+// history in place for the next replay.
+func (m *Manager) closeJournal() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal == nil || m.journalClosed {
+		return
+	}
+	m.journalClosed = true
+	if err := m.journal.Compact(m.liveRecordsLocked()); err != nil {
+		m.c.journalErrors.Add(1)
+	}
+	if err := m.journal.Close(); err != nil {
+		m.c.journalErrors.Add(1)
+	}
+}
+
+// liveRecordsLocked renders the retained jobs as the canonical record
+// sequence a fresh journal needs: one submitted record per job plus its
+// terminal (or started) record. Jobs already trimmed by retention are
+// gone from the compacted journal too — retention is the contract.
+func (m *Manager) liveRecordsLocked() []journal.Record {
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // ids are zero-padded: lexicographic == numeric
+	recs := make([]journal.Record, 0, 2*len(ids))
+	for _, id := range ids {
+		j := m.jobs[id]
+		specJSON, err := json.Marshal(j.spec)
+		if err != nil {
+			continue
+		}
+		recs = append(recs, journal.Record{
+			Type: journal.TypeSubmitted, At: j.created, ID: id, Data: specJSON,
+		})
+		switch j.state {
+		case StateDone:
+			if m.results == nil || m.results.Has(j.key) {
+				recs = append(recs, journal.Record{Type: journal.TypeCompleted, At: j.finished, ID: id})
+			}
+		case StateFailed:
+			var msg []byte
+			if j.err != nil {
+				msg = []byte(j.err.Error())
+			}
+			recs = append(recs, journal.Record{Type: journal.TypeFailed, At: j.finished, ID: id, Data: msg})
+		case StateCancelled:
+			recs = append(recs, journal.Record{Type: journal.TypeCancelled, At: j.finished, ID: id})
+		case StateRunning:
+			recs = append(recs, journal.Record{Type: journal.TypeStarted, At: j.started, ID: id})
+		}
+	}
+	return recs
 }

@@ -18,6 +18,11 @@ type Stats struct {
 	Executions  uint64 `json:"executions"`   // actual runner invocations
 	Panics      uint64 `json:"panics"`       // runner panics recovered into failed jobs
 	WallNanos   uint64 `json:"wall_nanos"`   // total runner wall time
+	DiskHits    uint64 `json:"disk_hits"`    // submissions answered from the on-disk result store
+	Recovered   uint64 `json:"recovered"`    // jobs rebuilt from the journal at startup
+	// JournalErrors counts durability failures: journal appends or result
+	// store writes that did not reach disk. Zero in a healthy daemon.
+	JournalErrors uint64 `json:"journal_errors"`
 
 	// Current-state gauges.
 	Queued  int64 `json:"queued"`  // jobs waiting for a worker
@@ -29,23 +34,27 @@ type counters struct {
 	submitted, completed, failed, cancelled atomic.Uint64
 	cacheHits, cacheMisses                  atomic.Uint64
 	deduped, executions, panics, wallNanos  atomic.Uint64
+	diskHits, recovered, journalErrors      atomic.Uint64
 	queued, running                         atomic.Int64
 }
 
 // snapshot copies the counters into an immutable Stats value.
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Submitted:   c.submitted.Load(),
-		Completed:   c.completed.Load(),
-		Failed:      c.failed.Load(),
-		Cancelled:   c.cancelled.Load(),
-		CacheHits:   c.cacheHits.Load(),
-		CacheMisses: c.cacheMisses.Load(),
-		Deduped:     c.deduped.Load(),
-		Executions:  c.executions.Load(),
-		Panics:      c.panics.Load(),
-		WallNanos:   c.wallNanos.Load(),
-		Queued:      c.queued.Load(),
-		Running:     c.running.Load(),
+		Submitted:     c.submitted.Load(),
+		Completed:     c.completed.Load(),
+		Failed:        c.failed.Load(),
+		Cancelled:     c.cancelled.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		CacheMisses:   c.cacheMisses.Load(),
+		Deduped:       c.deduped.Load(),
+		Executions:    c.executions.Load(),
+		Panics:        c.panics.Load(),
+		WallNanos:     c.wallNanos.Load(),
+		DiskHits:      c.diskHits.Load(),
+		Recovered:     c.recovered.Load(),
+		JournalErrors: c.journalErrors.Load(),
+		Queued:        c.queued.Load(),
+		Running:       c.running.Load(),
 	}
 }

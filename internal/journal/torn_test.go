@@ -1,0 +1,228 @@
+package journal
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// recordedSegment writes a known journal and returns the single segment's
+// raw bytes plus the records it holds.
+func recordedSegment(t *testing.T) ([]byte, []Record) {
+	t.Helper()
+	dir := t.TempDir()
+	recs := lifecycle()
+	writeAll(t, dir, recs)
+	seqs, err := segments(dir)
+	if err != nil || len(seqs) != 1 {
+		t.Fatalf("segments = %v (%v), want exactly one", seqs, err)
+	}
+	b, err := os.ReadFile(segPath(dir, seqs[0]))
+	if err != nil {
+		t.Fatalf("reading segment: %v", err)
+	}
+	return b, recs
+}
+
+// replayBytes writes b as a fresh journal's only segment and replays it,
+// returning the delivered records. Any panic fails the test — replay of
+// arbitrary bytes must always degrade, never crash.
+func replayBytes(t *testing.T, b []byte) ([]Record, ReplayStats) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(segPath(dir, 1), b, 0o644); err != nil {
+		t.Fatalf("writing segment: %v", err)
+	}
+	return replayAll(t, dir)
+}
+
+// isPrefix reports whether got is a prefix of want.
+func isPrefix(got, want []Record) bool {
+	if len(got) > len(want) {
+		return false
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReplayTruncatedAtEveryOffset truncates a recorded segment at every
+// byte offset: replay must stop cleanly at the last record wholly inside
+// the prefix — never an error, never a record that was not in the
+// original sequence.
+func TestReplayTruncatedAtEveryOffset(t *testing.T) {
+	seg, want := recordedSegment(t)
+	for cut := 0; cut <= len(seg); cut++ {
+		got, st := replayBytes(t, seg[:cut])
+		if !isPrefix(got, want) {
+			t.Fatalf("truncation at %d replayed non-prefix: %+v", cut, got)
+		}
+		if cut == len(seg) && len(got) != len(want) {
+			t.Fatalf("untruncated replay lost records: %d of %d", len(got), len(want))
+		}
+		if wantTrunc := int64(cut) - st.Bytes; cut >= segHeaderLen && st.TruncatedBytes != wantTrunc {
+			t.Fatalf("truncation at %d: TruncatedBytes = %d, want %d", cut, st.TruncatedBytes, wantTrunc)
+		}
+	}
+}
+
+// TestReplayBitFlipAtEveryOffset flips every bit of every byte of a
+// recorded segment: replay must deliver only records from the original
+// sequence's prefix (the flip can truncate replay, or — when it lands in
+// a record's non-framing bytes and is caught by CRC — stop exactly
+// there), and must never panic or resurrect altered data.
+func TestReplayBitFlipAtEveryOffset(t *testing.T) {
+	seg, want := recordedSegment(t)
+	mut := make([]byte, len(seg))
+	for off := 0; off < len(seg); off++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, seg)
+			mut[off] ^= 1 << bit
+			got, _ := replayBytes(t, mut)
+			if !isPrefix(got, want) {
+				t.Fatalf("bit flip at %d.%d replayed non-prefix: %+v", off, bit, got)
+			}
+		}
+	}
+}
+
+// TestOpenRepairsTornTail ensures Open truncates a torn tail and appends
+// after the last valid record: the half-written record is gone for good
+// and the journal keeps working on the same segment.
+func TestOpenRepairsTornTail(t *testing.T) {
+	seg, want := recordedSegment(t)
+	dir := t.TempDir()
+	// Cut mid-way through the final record.
+	cut := len(seg) - 3
+	if err := os.WriteFile(segPath(dir, 1), seg[:cut], 0o644); err != nil {
+		t.Fatalf("writing torn segment: %v", err)
+	}
+	var replayed []Record
+	j, err := Open(dir, Options{}, func(r Record) error {
+		replayed = append(replayed, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open on torn tail: %v", err)
+	}
+	if len(replayed) != len(want)-1 {
+		t.Fatalf("torn tail replayed %d records, want %d", len(replayed), len(want)-1)
+	}
+	if st := j.Stats(); st.Replay.TruncatedBytes == 0 {
+		t.Fatalf("repair did not count truncated bytes: %+v", st.Replay)
+	}
+	extra := rec(TypeCompleted, "j00000003", "")
+	if err := j.Append(extra, true); err != nil {
+		t.Fatalf("Append after repair: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, _ := replayAll(t, dir)
+	wantAfter := append(append([]Record{}, want[:len(want)-1]...), extra)
+	if !reflect.DeepEqual(got, wantAfter) {
+		t.Fatalf("post-repair replay:\n got %+v\nwant %+v", got, wantAfter)
+	}
+}
+
+// TestCorruptionInvalidatesLaterSegments pins the safety rule that a
+// corruption boundary abandons every later segment too: records after a
+// gap cannot be trusted (they may transition jobs whose submissions were
+// lost), so replay stops at the boundary and Open deletes the rest.
+func TestCorruptionInvalidatesLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 128}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	recs := lifecycle()
+	for _, r := range recs {
+		if err := j.Append(r, true); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seqs, _ := segments(dir)
+	if len(seqs) < 3 {
+		t.Fatalf("want ≥3 segments for this test, got %v", seqs)
+	}
+	// Corrupt the first segment's first record body.
+	first := segPath(dir, seqs[0])
+	b, _ := os.ReadFile(first)
+	b[segHeaderLen+frameOverhead+2] ^= 0xff
+	os.WriteFile(first, b, 0o644)
+
+	got, st := replayAll(t, dir)
+	if len(got) != 0 {
+		t.Fatalf("replay after first-segment corruption delivered %d records", len(got))
+	}
+	if st.DroppedSegments != len(seqs)-1 {
+		t.Fatalf("DroppedSegments = %d, want %d", st.DroppedSegments, len(seqs)-1)
+	}
+
+	// Open must repair: later segments deleted, journal reusable.
+	j2, err := Open(dir, Options{SegmentBytes: 128}, nil)
+	if err != nil {
+		t.Fatalf("Open after corruption: %v", err)
+	}
+	if err := j2.Append(recs[0], true); err != nil {
+		t.Fatalf("Append after repair: %v", err)
+	}
+	j2.Close()
+	got, _ = replayAll(t, dir)
+	if len(got) != 1 || !reflect.DeepEqual(got[0], recs[0]) {
+		t.Fatalf("post-repair journal replay = %+v", got)
+	}
+}
+
+// TestFullyCorruptTailDegradesToEmpty is the acceptance criterion's
+// degenerate case: a journal whose every segment is garbage opens as an
+// empty journal, never an error.
+func TestFullyCorruptTailDegradesToEmpty(t *testing.T) {
+	dir := t.TempDir()
+	for seq := 1; seq <= 3; seq++ {
+		if err := os.WriteFile(segPath(dir, seq), []byte("not a journal segment"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var replayed int
+	j, err := Open(dir, Options{}, func(Record) error { replayed++; return nil })
+	if err != nil {
+		t.Fatalf("Open on garbage: %v", err)
+	}
+	defer j.Close()
+	if replayed != 0 {
+		t.Fatalf("garbage replayed %d records", replayed)
+	}
+	if st := j.Stats(); st.Replay.DroppedSegments != 3 {
+		t.Fatalf("DroppedSegments = %d, want 3", st.Replay.DroppedSegments)
+	}
+	if err := j.Append(rec(TypeSubmitted, "j1", "{}"), true); err != nil {
+		t.Fatalf("Append on recovered-empty journal: %v", err)
+	}
+}
+
+// TestForeignVersionSegmentDropped treats a segment from a future codec
+// as a corruption boundary, not a decode attempt.
+func TestForeignVersionSegmentDropped(t *testing.T) {
+	dir := t.TempDir()
+	h := segmentHeader()
+	h[len(segMagic)]++ // bump version
+	if err := os.WriteFile(segPath(dir, 1), h, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, st := replayBytesDir(t, dir)
+	if len(got) != 0 || st.DroppedSegments != 1 {
+		t.Fatalf("foreign version: records %d, stats %+v", len(got), st)
+	}
+}
+
+func replayBytesDir(t *testing.T, dir string) ([]Record, ReplayStats) {
+	t.Helper()
+	return replayAll(t, dir)
+}

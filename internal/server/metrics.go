@@ -9,6 +9,7 @@ import (
 
 	"critload/internal/checkpoint"
 	"critload/internal/jobs"
+	"critload/internal/journal"
 	"critload/internal/obsv"
 )
 
@@ -151,6 +152,72 @@ func newMetricsSet(mgr *jobs.Manager, ckpts *checkpoint.Store, start time.Time) 
 		reg.GaugeFunc("critloadd_checkpoint_disk_bytes",
 			"Bytes of checkpoint data currently on disk.", nil,
 			snap(func(s checkpoint.Stats) float64 { return float64(s.Bytes) }))
+	}
+
+	// Durable-tier families: write-ahead journal and on-disk result store,
+	// present only when the daemon runs with -data-dir. Like the
+	// checkpoint families these are read at scrape time; the stats calls
+	// include a directory scan over a budget-bounded directory.
+	if jnl := mgr.Journal(); jnl != nil {
+		reg.CounterFunc("critloadd_jobs_recovered_total",
+			"Jobs rebuilt from the journal at startup.", nil,
+			stat(func(s jobs.Stats) float64 { return float64(s.Recovered) }))
+		reg.CounterFunc("critloadd_journal_errors_total",
+			"Durability failures: journal appends or result writes that did not reach disk.", nil,
+			stat(func(s jobs.Stats) float64 { return float64(s.JournalErrors) }))
+		jsnap := func(read func(journal.Stats) float64) func() float64 {
+			return func() float64 { return read(jnl.Stats()) }
+		}
+		reg.CounterFunc("critloadd_journal_appends_total",
+			"Records appended to the write-ahead journal.", nil,
+			jsnap(func(s journal.Stats) float64 { return float64(s.Appends) }))
+		reg.CounterFunc("critloadd_journal_syncs_total",
+			"fsyncs issued by synced journal appends.", nil,
+			jsnap(func(s journal.Stats) float64 { return float64(s.Syncs) }))
+		reg.CounterFunc("critloadd_journal_rotations_total",
+			"Journal segment rotations.", nil,
+			jsnap(func(s journal.Stats) float64 { return float64(s.Rotations) }))
+		reg.CounterFunc("critloadd_journal_compactions_total",
+			"Journal compactions (startup recovery and clean shutdown).", nil,
+			jsnap(func(s journal.Stats) float64 { return float64(s.Compactions) }))
+		reg.CounterFunc("critloadd_journal_replay_truncated_bytes_total",
+			"Bytes abandoned past the last replay's corruption boundary.", nil,
+			jsnap(func(s journal.Stats) float64 { return float64(s.Replay.TruncatedBytes) }))
+		reg.GaugeFunc("critloadd_journal_segments",
+			"Journal segment files currently on disk.", nil,
+			jsnap(func(s journal.Stats) float64 { return float64(s.Segments) }))
+		reg.GaugeFunc("critloadd_journal_disk_bytes",
+			"Bytes of journal data currently on disk.", nil,
+			jsnap(func(s journal.Stats) float64 { return float64(s.DiskBytes) }))
+	}
+	if results := mgr.Results(); results != nil {
+		rsnap := func(read func(jobs.ResultStoreStats) float64) func() float64 {
+			return func() float64 { return read(results.Stats()) }
+		}
+		reg.CounterFunc("critloadd_resultstore_hits_total",
+			"Result reads served from the on-disk store.", nil,
+			rsnap(func(s jobs.ResultStoreStats) float64 { return float64(s.Hits) }))
+		reg.CounterFunc("critloadd_resultstore_disk_hits_total",
+			"Submissions answered from the on-disk result store.", nil,
+			stat(func(s jobs.Stats) float64 { return float64(s.DiskHits) }))
+		reg.CounterFunc("critloadd_resultstore_misses_total",
+			"Result reads that found nothing on disk.", nil,
+			rsnap(func(s jobs.ResultStoreStats) float64 { return float64(s.Misses) }))
+		reg.CounterFunc("critloadd_resultstore_puts_total",
+			"Results persisted to the on-disk store.", nil,
+			rsnap(func(s jobs.ResultStoreStats) float64 { return float64(s.Puts) }))
+		reg.CounterFunc("critloadd_resultstore_evictions_total",
+			"Result files evicted to stay under the disk budget.", nil,
+			rsnap(func(s jobs.ResultStoreStats) float64 { return float64(s.Evictions) }))
+		reg.CounterFunc("critloadd_resultstore_dropped_total",
+			"Corrupt or version-mismatched result files deleted on read.", nil,
+			rsnap(func(s jobs.ResultStoreStats) float64 { return float64(s.Dropped) }))
+		reg.GaugeFunc("critloadd_resultstore_files",
+			"Result files currently on disk.", nil,
+			rsnap(func(s jobs.ResultStoreStats) float64 { return float64(s.Files) }))
+		reg.GaugeFunc("critloadd_resultstore_disk_bytes",
+			"Bytes of result data currently on disk.", nil,
+			rsnap(func(s jobs.ResultStoreStats) float64 { return float64(s.Bytes) }))
 	}
 
 	// HTTP instrumentation.

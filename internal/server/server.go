@@ -435,8 +435,21 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// healthJSON is the /healthz body. Recovery is present only on daemons
+// running the durable tier: what the startup journal replay found, so an
+// operator restarting a crashed daemon can see at a glance how many jobs
+// were carried across and whether the journal had a torn tail.
+type healthJSON struct {
+	Status   string             `json:"status"`
+	Recovery *jobs.RecoveryInfo `json:"recovery,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := healthJSON{Status: "ok"}
+	if rec := s.mgr.Recovery(); rec.Enabled {
+		body.Recovery = &rec
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

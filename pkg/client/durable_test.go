@@ -1,0 +1,105 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"critload/internal/jobs"
+	"critload/internal/server"
+	"critload/pkg/client"
+)
+
+// newDurableDaemon is newDaemon with the durable job tier (journal +
+// result store) rooted at dir. The returned shutdown is idempotent so
+// restart tests can stop the first incarnation explicitly.
+func newDurableDaemon(t *testing.T, dir string) (*httptest.Server, func()) {
+	t.Helper()
+	results, err := jobs.OpenResultStore(filepath.Join(dir, "results"), 0)
+	if err != nil {
+		t.Fatalf("OpenResultStore: %v", err)
+	}
+	mgr, err := jobs.NewManager(jobs.Config{
+		Workers:    2,
+		Runner:     server.SimRunner(),
+		JournalDir: filepath.Join(dir, "journal"),
+		Results:    results,
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	ts := httptest.NewServer(server.New(mgr))
+	var once sync.Once
+	shutdown := func() {
+		once.Do(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			mgr.Close(ctx)
+		})
+	}
+	t.Cleanup(shutdown)
+	return ts, shutdown
+}
+
+// TestHealthStatusRecovery drives the client's health API against both
+// daemon tiers: no recovery block without a data dir, a populated one —
+// including the Recovered job flag on snapshots — across a restart.
+func TestHealthStatusRecovery(t *testing.T) {
+	ctx := context.Background()
+
+	plain := newDaemon(t)
+	pc := newClient(t, plain.URL, client.Config{})
+	hs, err := pc.HealthStatus(ctx)
+	if err != nil {
+		t.Fatalf("HealthStatus: %v", err)
+	}
+	if hs.Status != "ok" || hs.Recovery != nil {
+		t.Fatalf("plain daemon health = %+v, want ok with no recovery block", hs)
+	}
+
+	dir := t.TempDir()
+	ts1, shutdown := newDurableDaemon(t, dir)
+	c1 := newClient(t, ts1.URL, client.Config{})
+	job, err := c1.SubmitJob(ctx, client.JobSpec{Workload: "sssp", Mode: "functional", Size: 256, Seed: 4})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	done, err := c1.WaitJob(ctx, job.ID, 0)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if done.Recovered {
+		t.Fatalf("freshly run job flagged recovered: %+v", done)
+	}
+	shutdown()
+
+	ts2, _ := newDurableDaemon(t, dir)
+	c2 := newClient(t, ts2.URL, client.Config{})
+	hs, err = c2.HealthStatus(ctx)
+	if err != nil {
+		t.Fatalf("HealthStatus after restart: %v", err)
+	}
+	if hs.Recovery == nil || !hs.Recovery.Enabled {
+		t.Fatalf("durable daemon health missing recovery block: %+v", hs)
+	}
+	if hs.Recovery.Jobs != 1 || hs.Recovery.Unrecoverable != 0 {
+		t.Fatalf("recovery block = %+v, want 1 job, 0 unrecoverable", *hs.Recovery)
+	}
+	replayed, err := c2.GetJob(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("GetJob after restart: %v", err)
+	}
+	if !replayed.Recovered || replayed.State != client.StateDone {
+		t.Fatalf("replayed job = state %q recovered %v, want done/true",
+			replayed.State, replayed.Recovered)
+	}
+	if !bytes.Equal(done.Result, replayed.Result) {
+		t.Fatalf("replayed result diverges:\n pre-restart: %s\npost-restart: %s",
+			done.Result, replayed.Result)
+	}
+}

@@ -48,18 +48,21 @@ type Progress struct {
 // job's mode — decode it into your own struct, or use the counters
 // convenience below.
 type Job struct {
-	ID           string          `json:"id"`
-	Key          string          `json:"key"`
-	State        string          `json:"state"`
-	Error        string          `json:"error,omitempty"`
-	CacheHit     bool            `json:"cache_hit,omitempty"`
-	Created      time.Time       `json:"created"`
-	Started      time.Time       `json:"started"`
-	Finished     time.Time       `json:"finished"`
-	QueuedMillis int64           `json:"queued_millis"`
-	WallMillis   int64           `json:"wall_millis"`
-	Progress     *Progress       `json:"progress,omitempty"`
-	Result       json.RawMessage `json:"result,omitempty"`
+	ID           string    `json:"id"`
+	Key          string    `json:"key"`
+	State        string    `json:"state"`
+	Error        string    `json:"error,omitempty"`
+	CacheHit     bool      `json:"cache_hit,omitempty"`
+	Created      time.Time `json:"created"`
+	Started      time.Time `json:"started"`
+	Finished     time.Time `json:"finished"`
+	QueuedMillis int64     `json:"queued_millis"`
+	WallMillis   int64     `json:"wall_millis"`
+	Progress     *Progress `json:"progress,omitempty"`
+	// Recovered marks a job replayed from the daemon's journal after a
+	// restart rather than submitted through the current process.
+	Recovered bool            `json:"recovered,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -174,4 +177,36 @@ func (c *Client) Workloads(ctx context.Context) ([]Workload, error) {
 // Health checks daemon liveness.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, "health", http.MethodGet, "/healthz", nil, nil, nil)
+}
+
+// Recovery summarises the daemon's journal replay, mirroring the recovery
+// block of GET /healthz. Counts are jobs except Records (journal records)
+// and TruncatedBytes (torn tail dropped during replay).
+type Recovery struct {
+	Enabled            bool   `json:"enabled"`
+	Records            uint64 `json:"records_replayed"`
+	TruncatedBytes     int64  `json:"truncated_bytes"`
+	DroppedSegments    int    `json:"dropped_segments"`
+	Jobs               int    `json:"jobs"`
+	Requeued           int    `json:"requeued"`
+	CompletedFromStore int    `json:"completed_from_store"`
+	ResultsMissing     int    `json:"results_missing"`
+	Unrecoverable      int    `json:"unrecoverable"`
+}
+
+// HealthStatus is the full GET /healthz document. Recovery is nil on
+// daemons running without a durable data dir.
+type HealthStatus struct {
+	Status   string    `json:"status"`
+	Recovery *Recovery `json:"recovery,omitempty"`
+}
+
+// HealthStatus fetches daemon health including the journal recovery
+// summary, when the daemon runs with a durable data dir.
+func (c *Client) HealthStatus(ctx context.Context) (*HealthStatus, error) {
+	var out HealthStatus
+	if err := c.do(ctx, "health", http.MethodGet, "/healthz", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }

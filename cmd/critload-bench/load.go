@@ -25,10 +25,11 @@ const (
 	opClassify = "classify"
 	opBatch    = "classify_batch"
 	opSimulate = "simulate"
+	opFamily   = "family"
 )
 
 // soakOps is the canonical op order for reports.
-var soakOps = []string{opClassify, opBatch, opSimulate}
+var soakOps = []string{opClassify, opBatch, opSimulate, opFamily}
 
 // linKernel is the classify payload: the canonical single-kernel linear
 // indexing example used across the repo's tests — small enough that a soak
@@ -66,6 +67,20 @@ const gatherKernel = `
     exit;
 `
 
+// familyCycle is the rotation of family specs the family op classifies:
+// every shipped family at least once, knobs varied so the daemon lowers a
+// fresh kernel rather than replaying one memoized spec. Kept small — the op
+// measures the synthesize-and-classify path, not kgen throughput.
+var familyCycle = []client.FamilySpec{
+	{Name: "stream", Knobs: map[string]int{"loads": 2, "size": 128}},
+	{Name: "indirect-chase", Knobs: map[string]int{"depth": 2, "width": 2, "size": 128}},
+	{Name: "shared-tile", Knobs: map[string]int{"fanout": 3, "size": 128}},
+	{Name: "atomic-contend", Knobs: map[string]int{"spread": 1, "size": 128}},
+	{Name: "mixed-dn", Knobs: map[string]int{"loads": 4, "dn": 50, "size": 128}},
+	{Name: "stream", Knobs: map[string]int{"loads": 6, "stride": 4, "size": 256}},
+	{Name: "mixed-dn", Knobs: map[string]int{"loads": 6, "dn": 100, "size": 128}},
+}
+
 // simSeedCycle is how many distinct simulate specs each worker rotates
 // through. Small enough that the daemon's result cache converges, so the
 // simulate op measures the submit/poll/cache path at soak rates rather
@@ -78,10 +93,12 @@ type mix struct {
 	Classify float64 `json:"classify"`
 	Batch    float64 `json:"batch"`
 	Simulate float64 `json:"simulate"`
+	Family   float64 `json:"family"`
 }
 
-// parseMix parses "classify=0.6,batch=0.3,simulate=0.1". Omitted ops get
-// weight 0; unknown ops, negative weights and an all-zero mix are errors.
+// parseMix parses "classify=0.6,batch=0.2,simulate=0.1,family=0.1". Omitted
+// ops get weight 0; unknown ops, negative weights and an all-zero mix are
+// errors.
 func parseMix(s string) (mix, error) {
 	var m mix
 	for _, part := range strings.Split(s, ",") {
@@ -107,11 +124,13 @@ func parseMix(s string) (mix, error) {
 			m.Batch = w
 		case "simulate":
 			m.Simulate = w
+		case "family":
+			m.Family = w
 		default:
-			return m, fmt.Errorf("unknown mix op %q (want classify, batch or simulate)", name)
+			return m, fmt.Errorf("unknown mix op %q (want classify, batch, simulate or family)", name)
 		}
 	}
-	if m.Classify+m.Batch+m.Simulate <= 0 {
+	if m.Classify+m.Batch+m.Simulate+m.Family <= 0 {
 		return m, errors.New("mix has no positive weights")
 	}
 	return m, nil
@@ -119,14 +138,16 @@ func parseMix(s string) (mix, error) {
 
 // pick selects one op proportionally to the mix weights.
 func (m mix) pick(r *rand.Rand) string {
-	x := r.Float64() * (m.Classify + m.Batch + m.Simulate)
+	x := r.Float64() * (m.Classify + m.Batch + m.Simulate + m.Family)
 	switch {
 	case x < m.Classify:
 		return opClassify
 	case x < m.Classify+m.Batch:
 		return opBatch
-	default:
+	case x < m.Classify+m.Batch+m.Simulate:
 		return opSimulate
+	default:
+		return opFamily
 	}
 }
 
@@ -256,6 +277,16 @@ func (r *runner) doOp(ctx context.Context, op string, n int) error {
 			return err
 		}
 		return job.Err()
+	case opFamily:
+		spec := familyCycle[n%len(familyCycle)]
+		res, err := r.client.ClassifyFamily(ctx, spec)
+		if err != nil {
+			return err
+		}
+		if len(res.Kernels) != 1 {
+			return fmt.Errorf("family %s: %d kernels, want 1", spec.Name, len(res.Kernels))
+		}
+		return nil
 	}
 	return fmt.Errorf("unknown op %q", op)
 }

@@ -1,8 +1,9 @@
 // Command critload-bench soaks a critloadd daemon through the native
 // client (pkg/client): N workers drive a configurable mix of classify,
-// batch-classify and simulate operations for a fixed duration, with
-// optional injected latency and error faults, and report the sustained
-// QPS, exact latency quantiles and error rate per operation.
+// batch-classify, simulate and family (synthesize-and-classify) operations
+// for a fixed duration, with optional injected latency and error faults,
+// and report the sustained QPS, exact latency quantiles and error rate per
+// operation.
 //
 // With no -addr it spins up an in-process daemon on a loopback port, so
 // the numbers measure the full HTTP stack (client pool, server, JSON)
@@ -40,8 +41,8 @@ func main() {
 		"daemon address to soak (empty = start an in-process daemon)")
 	workers := flag.Int("workers", 8, "concurrent load workers")
 	duration := flag.Duration("duration", 10*time.Second, "soak duration")
-	mixSpec := flag.String("mix", "classify=0.6,batch=0.3,simulate=0.1",
-		"operation mix as weight pairs (classify, batch, simulate)")
+	mixSpec := flag.String("mix", "classify=0.55,batch=0.25,simulate=0.1,family=0.1",
+		"operation mix as weight pairs (classify, batch, simulate, family)")
 	batchSize := flag.Int("batch-size", 16, "kernels per batch-classify request")
 	simWorkload := flag.String("sim-workload", "2mm", "workload for simulate ops")
 	simSize := flag.Int("sim-size", 32, "input size for simulate ops")
@@ -121,8 +122,9 @@ func run(o options) error {
 		o.seed = committed.Seed
 		o.injectLatency = time.Duration(committed.InjectedLatencyMillis) * time.Millisecond
 		o.injectErrors = committed.InjectedErrorRate
-		o.mixSpec = fmt.Sprintf("classify=%g,batch=%g,simulate=%g",
-			committed.Mix.Classify, committed.Mix.Batch, committed.Mix.Simulate)
+		o.mixSpec = fmt.Sprintf("classify=%g,batch=%g,simulate=%g,family=%g",
+			committed.Mix.Classify, committed.Mix.Batch, committed.Mix.Simulate,
+			committed.Mix.Family)
 		fmt.Fprintf(os.Stderr, "soak-check: adopting committed shape: %d workers, mix %s, batch %d, sim %s/%d\n",
 			o.workers, o.mixSpec, o.batchSize, o.simWorkload, o.simSize)
 	}

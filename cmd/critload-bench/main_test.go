@@ -12,11 +12,11 @@ import (
 )
 
 func TestParseMix(t *testing.T) {
-	m, err := parseMix("classify=0.6,batch=0.3,simulate=0.1")
+	m, err := parseMix("classify=0.55,batch=0.25,simulate=0.1,family=0.1")
 	if err != nil {
 		t.Fatalf("parseMix: %v", err)
 	}
-	if m.Classify != 0.6 || m.Batch != 0.3 || m.Simulate != 0.1 {
+	if m.Classify != 0.55 || m.Batch != 0.25 || m.Simulate != 0.1 || m.Family != 0.1 {
 		t.Fatalf("parseMix = %+v", m)
 	}
 
@@ -35,7 +35,7 @@ func TestParseMix(t *testing.T) {
 		"classify",     // not name=weight
 		"classify=x",   // non-numeric
 		"frobnicate=1", // unknown op
-		"classify=0,batch=0,simulate=0",
+		"classify=0,batch=0,simulate=0,family=0",
 	} {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) succeeded, want error", bad)
@@ -149,7 +149,7 @@ func TestSoakSmoke(t *testing.T) {
 	r := newRunner(loadConfig{
 		Workers:   4,
 		Duration:  500 * time.Millisecond,
-		Mix:       mix{Classify: 0.5, Batch: 0.3, Simulate: 0.2},
+		Mix:       mix{Classify: 0.4, Batch: 0.25, Simulate: 0.15, Family: 0.2},
 		BatchSize: 4, SimWorkload: "2mm", SimSize: 16, Seed: 1,
 		ReportEvery: 100 * time.Millisecond,
 	}, c, &log)

@@ -71,6 +71,7 @@ var clientRetryOps = map[string][]string{
 	opClassify: {"classify"},
 	opBatch:    {"classify_batch"},
 	opSimulate: {"job_submit", "job_wait"},
+	opFamily:   {"classify_family"},
 }
 
 // report folds the merged per-worker samples and the shared counters into

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"critload/internal/dataflow"
+	_ "critload/internal/families" // register family: workload names
 	"critload/internal/ptx"
 	"critload/internal/report"
 	"critload/internal/workloads"

@@ -14,6 +14,8 @@ import (
 	"critload/internal/checkpoint"
 	"critload/internal/dataflow"
 	"critload/internal/emu"
+	_ "critload/internal/families" // register family: workload names
+
 	"critload/internal/gpu"
 	"critload/internal/sm"
 	"critload/internal/stats"

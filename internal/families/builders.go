@@ -1,0 +1,207 @@
+package families
+
+import (
+	"critload/internal/isa"
+	"critload/internal/kgen"
+)
+
+// ALU/compare selectors resolved once from the kgen pools, so builders name
+// operations by opcode instead of by pool position.
+var (
+	aluAdd = kgen.AluIndex(isa.OpAdd)
+	aluMul = kgen.AluIndex(isa.OpMul)
+	aluXor = kgen.AluIndex(isa.OpXor)
+)
+
+// asm is a tiny op-list assembler. Every method returns the index of the op
+// it appended, which is how later ops reference earlier values in kgen IR.
+type asm struct {
+	ops []kgen.Op
+}
+
+func (a *asm) emit(o kgen.Op) int {
+	a.ops = append(a.ops, o)
+	return len(a.ops) - 1
+}
+
+// alu appends alu(x, y). y < 0 uses imm as the second operand.
+func (a *asm) alu(sel, x, y int, imm uint32) int {
+	return a.emit(kgen.Op{Kind: kgen.KAlu, A: x, B: y, P: -1, Alu: sel, Imm: imm})
+}
+
+// loadG appends a global load of data array (bank&1) at index (x & mask);
+// x < 0 indexes by the global thread id.
+func (a *asm) loadG(x, bank int) int {
+	return a.emit(kgen.Op{Kind: kgen.KLoadG, A: x, B: -1, P: -1, Imm: uint32(bank & 1)})
+}
+
+// xorInto folds v into acc (acc < 0 starts the chain).
+func (a *asm) xorInto(acc, v int) int {
+	if acc < 0 {
+		return v
+	}
+	return a.alu(aluXor, acc, v, 0)
+}
+
+// store appends a store of x to the thread's output slot.
+func (a *asm) store(x, slot int) {
+	a.emit(kgen.Op{Kind: kgen.KStore, A: x, B: -1, P: -1, Imm: uint32(slot)})
+}
+
+func init() {
+	register(&Family{
+		Name: "stream",
+		Description: "unit- or strided-stride streaming reads: every address is an " +
+			"affine function of the thread id, so every load is deterministic (D)",
+		Knobs: commonKnobs(
+			Knob{Name: "loads", Description: "global loads per thread", Min: 1, Max: 8, Default: 4},
+			Knob{Name: "stride", Description: "words between consecutive threads", Min: 1, Max: 64, Default: 1},
+			Knob{Name: "trips", Description: "host-visible loop trips around the body", Min: 1, Max: kgen.MaxTrip, Default: 1},
+		),
+		build: func(v map[string]int) []kgen.Op {
+			a := &asm{}
+			// base = gtid * stride; each load reads base+i from alternating banks.
+			base := a.alu(aluMul, -1, -1, uint32(v["stride"]))
+			loop := v["trips"] > 1
+			if loop {
+				a.emit(kgen.Op{Kind: kgen.KLoop, A: -1, B: -1, P: -1, Imm: uint32(v["trips"] - 1)})
+			}
+			acc := -1
+			for i := 0; i < v["loads"]; i++ {
+				addr := a.alu(aluAdd, base, -1, uint32(i))
+				acc = a.xorInto(acc, a.loadG(addr, i))
+			}
+			a.store(acc, 0)
+			if loop {
+				a.emit(kgen.Op{Kind: kgen.KEnd, A: -1, B: -1, P: -1})
+			}
+			return a.ops
+		},
+		expect: func(v map[string]int) (int, int) { return v["loads"], 0 },
+	})
+
+	register(&Family{
+		Name: "indirect-chase",
+		Description: "pointer-chase through loaded indices: one deterministic root " +
+			"load per thread feeds width independent chains of depth dependent " +
+			"loads, all non-deterministic (N)",
+		Knobs: commonKnobs(
+			Knob{Name: "depth", Description: "dependent loads per chain", Min: 1, Max: 4, Default: 2},
+			Knob{Name: "width", Description: "independent chains per thread", Min: 1, Max: 4, Default: 2},
+		),
+		build: func(v map[string]int) []kgen.Op {
+			a := &asm{}
+			root := a.loadG(-1, 0) // D: indexed by gtid
+			acc := -1
+			for w := 0; w < v["width"]; w++ {
+				cur := a.alu(aluAdd, root, -1, uint32(w)) // tainted per-chain offset
+				for d := 0; d < v["depth"]; d++ {
+					cur = a.loadG(cur, w+d) // N: address derives from loaded data
+				}
+				acc = a.xorInto(acc, cur)
+			}
+			a.store(acc, 0)
+			return a.ops
+		},
+		expect: func(v map[string]int) (int, int) { return 1, v["width"] * v["depth"] },
+	})
+
+	register(&Family{
+		Name: "shared-tile",
+		Description: "tile exchange through shared memory: each thread publishes a " +
+			"deterministic root load, and after the barrier reads fanout " +
+			"neighbours' words to index non-deterministic global loads",
+		Knobs: commonKnobs(
+			Knob{Name: "fanout", Description: "neighbour words consumed after the barrier", Min: 1, Max: 8, Default: 4},
+		),
+		build: func(v map[string]int) []kgen.Op {
+			a := &asm{}
+			root := a.loadG(-1, 0) // D
+			a.emit(kgen.Op{Kind: kgen.KShStore, A: root, B: -1, P: -1})
+			a.emit(kgen.Op{Kind: kgen.KBar, A: -1, B: -1, P: -1})
+			acc := -1
+			for f := 1; f <= v["fanout"]; f++ {
+				idx := a.alu(aluAdd, -1, -1, uint32(f)) // gtid+f: clean neighbour index
+				sh := a.emit(kgen.Op{Kind: kgen.KShLoad, A: idx, B: -1, P: -1})
+				acc = a.xorInto(acc, a.loadG(sh, f)) // N: address from shared data
+			}
+			a.store(acc, 0)
+			return a.ops
+		},
+		expect: func(v map[string]int) (int, int) { return 1, v["fanout"] },
+	})
+
+	register(&Family{
+		Name: "atomic-contend",
+		Description: "atomic scratch contention: the volatile atomic return value " +
+			"(schedule-dependent) indexes one non-deterministic probe load next " +
+			"to one deterministic root load",
+		Knobs: commonKnobs(
+			Knob{Name: "spread", Description: "0: all threads hit one scratch word; 1: spread across the scratch array", Min: 0, Max: 1, Default: 0},
+		),
+		build: func(v map[string]int) []kgen.Op {
+			a := &asm{}
+			root := a.loadG(-1, 0) // D
+			addr := -1             // gtid fallback → scratch[gtid & mask]
+			if v["spread"] == 0 {
+				addr = a.emit(kgen.Op{Kind: kgen.KImm, A: -1, B: -1, P: -1, Imm: 0})
+			}
+			old := a.emit(kgen.Op{Kind: kgen.KAtom, A: addr, B: -1, P: -1, Imm: 1})
+			// Volatile values may feed load addresses (the legitimate N path)
+			// but never stores — so the probe result stays unstored and the
+			// output slot takes the calm root value.
+			probe := a.alu(aluAdd, old, root, 0)
+			a.loadG(probe, 1) // N: address depends on warp scheduling
+			a.store(root, 0)
+			return a.ops
+		},
+		expect: func(v map[string]int) (int, int) { return 1, 1 },
+	})
+
+	register(&Family{
+		Name: "mixed-dn",
+		Description: "controlled D/N mix: dn percent of the loads are affine in the " +
+			"thread id (D), the rest form one dependent chain seeded by the " +
+			"first deterministic load (N)",
+		Knobs: commonKnobs(
+			Knob{Name: "loads", Description: "total global loads per thread", Min: 2, Max: 12, Default: 8},
+			Knob{Name: "dn", Description: "percent of loads that are deterministic (at least one always is)", Min: 0, Max: 100, Default: 50},
+		),
+		build: func(v map[string]int) []kgen.Op {
+			det, nondet := mixedSplit(v)
+			a := &asm{}
+			first, acc := -1, -1
+			for i := 0; i < det; i++ {
+				addr := a.alu(aluAdd, -1, -1, uint32(i)) // gtid+i
+				ld := a.loadG(addr, i)
+				if first < 0 {
+					first = ld
+				}
+				acc = a.xorInto(acc, ld)
+			}
+			cur := first
+			for i := 0; i < nondet; i++ {
+				cur = a.loadG(cur, i) // N: chained through loaded values
+				acc = a.xorInto(acc, cur)
+			}
+			a.store(acc, 0)
+			return a.ops
+		},
+		expect: mixedSplit,
+	})
+}
+
+// mixedSplit computes the mixed-dn family's D/N partition: round(loads·dn%)
+// deterministic loads, clamped so at least one D load exists to seed the
+// dependent chain.
+func mixedSplit(v map[string]int) (det, nondet int) {
+	loads := v["loads"]
+	det = (loads*v["dn"] + 50) / 100
+	if det < 1 {
+		det = 1
+	}
+	if det > loads {
+		det = loads
+	}
+	return det, loads - det
+}

@@ -1,0 +1,134 @@
+package families
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+
+	"critload/internal/dataflow"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite the golden family corpus under testdata/ from the current generators")
+
+// goldenJSON pins everything about one family's default instance except the
+// PTX text, which lives next to it in <family>.ptx.
+type goldenJSON struct {
+	Canonical string            `json:"canonical"`
+	Kernel    string            `json:"kernel"`
+	GridX     int               `json:"gridX"`
+	BlockX    int               `json:"blockX"`
+	DataWords int               `json:"dataWords"`
+	Want      map[string]string `json:"want"` // instruction index → "D"/"N"
+}
+
+func goldenFor(t *testing.T, f *Family) (goldenJSON, string) {
+	t.Helper()
+	spec := &Spec{Name: f.Name}
+	canonical, err := spec.CanonicalName()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := goldenJSON{
+		Canonical: canonical,
+		Kernel:    c.Kernel.Name,
+		GridX:     c.GridX,
+		BlockX:    c.BlockX,
+		DataWords: c.DataWords,
+		Want:      map[string]string{},
+	}
+	for idx, cls := range c.Want {
+		s := "D"
+		if cls == dataflow.NonDeterministic {
+			s = "N"
+		}
+		g.Want[strconv.Itoa(idx)] = s
+	}
+	return g, c.Kernel.Disassemble()
+}
+
+// TestGoldenCorpus replays the committed per-family corpus on plain go test:
+// the lowered PTX bytes and the ground-truth labels of each family's default
+// instance are pinned, so generator drift — a reordered op, a shifted
+// register, a flipped label — fails locally before any CI sweep runs.
+// Regenerate deliberately with: go test ./internal/families -run Golden -update-golden
+func TestGoldenCorpus(t *testing.T) {
+	for _, f := range List() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			g, ptxText := goldenFor(t, f)
+			jsonPath := filepath.Join("testdata", f.Name+".json")
+			ptxPath := filepath.Join("testdata", f.Name+".ptx")
+			if *updateGolden {
+				buf, err := json.MarshalIndent(&g, "", " ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(ptxPath, []byte(ptxText), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			wantPTX, err := os.ReadFile(ptxPath)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update-golden)", err)
+			}
+			if string(wantPTX) != ptxText {
+				t.Errorf("lowered PTX drifted from %s (regenerate deliberately with -update-golden)", ptxPath)
+			}
+			buf, err := os.ReadFile(jsonPath)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update-golden)", err)
+			}
+			var want goldenJSON
+			if err := json.Unmarshal(buf, &want); err != nil {
+				t.Fatal(err)
+			}
+			if g.Canonical != want.Canonical || g.Kernel != want.Kernel ||
+				g.GridX != want.GridX || g.BlockX != want.BlockX || g.DataWords != want.DataWords {
+				t.Errorf("instance metadata drifted: got %+v, golden %+v", g, want)
+			}
+			if len(g.Want) != len(want.Want) {
+				t.Errorf("%d labeled loads, golden has %d", len(g.Want), len(want.Want))
+			}
+			keys := make([]string, 0, len(want.Want))
+			for k := range want.Want {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if g.Want[k] != want.Want[k] {
+					t.Errorf("load at instruction %s: class %q, golden %q", k, g.Want[k], want.Want[k])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusComplete fails when a family ships without a committed
+// golden pair, so new families cannot skip the corpus.
+func TestGoldenCorpusComplete(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	for _, f := range List() {
+		for _, ext := range []string{".json", ".ptx"} {
+			p := filepath.Join("testdata", f.Name+ext)
+			if _, err := os.Stat(p); err != nil {
+				t.Errorf("family %s: missing golden file %s (run -update-golden and commit)", f.Name, p)
+			}
+		}
+	}
+}

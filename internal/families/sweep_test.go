@@ -1,0 +1,141 @@
+package families_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"critload/internal/difftest"
+	. "critload/internal/families"
+)
+
+// Sweep knobs, read from the environment so the nightly campaign can scale
+// the run without a code change:
+//
+//	CRITLOAD_FAMILY_SWEEP_POINTS — random knob points per family (default 3)
+//	CRITLOAD_FAMILY_SWEEP_SEED   — PRNG seed (default 1; nightly passes the run ID)
+//	CRITLOAD_FAMILY_SWEEP_OUT    — directory for failing specs (default none)
+func sweepConfig() (points int, seed int64, outDir string) {
+	points, seed = 3, 1
+	if s := os.Getenv("CRITLOAD_FAMILY_SWEEP_POINTS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			points = n
+		}
+	}
+	if s := os.Getenv("CRITLOAD_FAMILY_SWEEP_SEED"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			seed = n
+		}
+	}
+	return points, seed, os.Getenv("CRITLOAD_FAMILY_SWEEP_OUT")
+}
+
+// randKnobs draws one uniformly random in-range value per knob. Pow2 knobs
+// draw a uniform exponent so small and large footprints are equally likely;
+// the seed knob stays modest so failing specs print readably.
+func randKnobs(rng *rand.Rand, f *Family) map[string]int {
+	v := map[string]int{}
+	for _, k := range f.Knobs {
+		switch {
+		case k.Name == "seed":
+			v[k.Name] = rng.Intn(1 << 16)
+		case k.Pow2:
+			lo := bits.TrailingZeros(uint(k.Min))
+			hi := bits.TrailingZeros(uint(k.Max))
+			v[k.Name] = 1 << (lo + rng.Intn(hi-lo+1))
+		default:
+			v[k.Name] = k.Min + rng.Intn(k.Max-k.Min+1)
+		}
+	}
+	return v
+}
+
+// TestFamilySweep is the nightly family campaign: randomized knob points per
+// family, drawn from an externally supplied seed (the CI run ID), each
+// checked against the full difftest oracle stack and the family's declared
+// D/N mix. Failing specs are serialized to CRITLOAD_FAMILY_SWEEP_OUT so the
+// workflow can upload them as artifacts and a developer can replay the exact
+// instance. On plain go test the sweep stays small (3 points per family).
+func TestFamilySweep(t *testing.T) {
+	points, seed, outDir := sweepConfig()
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("sweep: %d points per family, seed %d", points, seed)
+	for _, f := range List() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			// Per-family stream split from the campaign seed, so one family's
+			// draw count never perturbs another's points.
+			h := int64(0)
+			for _, c := range f.Name {
+				h = h*131 + int64(c)
+			}
+			rng := rand.New(rand.NewSource(seed ^ h))
+			for i := 0; i < points; i++ {
+				spec := &Spec{Name: f.Name, Knobs: randKnobs(rng, f)}
+				name, err := spec.CanonicalName()
+				if err != nil {
+					t.Fatalf("point %d: %v", i, err)
+				}
+				if err := sweepOne(f, spec); err != nil {
+					saveFailingSpec(t, outDir, spec, i)
+					t.Errorf("%s: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+func sweepOne(f *Family, spec *Spec) error {
+	_, v, err := spec.Resolve()
+	if err != nil {
+		return err
+	}
+	c, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	rep := difftest.Check(c, difftest.Options{})
+	det, nondet := f.ExpectedClasses(v)
+	if rep.Det != det || rep.NonDet != nondet {
+		return fmt.Errorf("ground truth D=%d N=%d, schema promises D=%d N=%d",
+			rep.Det, rep.NonDet, det, nondet)
+	}
+	if rep.Failed() {
+		return fmt.Errorf("%d oracle divergence(s), first: %s: %s",
+			len(rep.Divergences), rep.Divergences[0].Oracle, rep.Divergences[0].Detail)
+	}
+	return nil
+}
+
+// saveFailingSpec writes the failing spec (and its lowered PTX when the
+// build still succeeds) into outDir for artifact upload.
+func saveFailingSpec(t *testing.T, outDir string, spec *Spec, i int) {
+	if outDir == "" {
+		return
+	}
+	base := filepath.Join(outDir, fmt.Sprintf("%s-%d", spec.Name, i))
+	buf, err := json.MarshalIndent(spec, "", " ")
+	if err == nil {
+		err = os.WriteFile(base+".json", append(buf, '\n'), 0o644)
+	}
+	if err != nil {
+		t.Logf("could not save failing spec: %v", err)
+		return
+	}
+	if c, berr := spec.Build(); berr == nil {
+		if werr := os.WriteFile(base+".ptx", []byte(c.Kernel.Disassemble()), 0o644); werr != nil {
+			t.Logf("could not save failing PTX: %v", werr)
+		}
+	}
+	t.Logf("failing spec saved to %s.json", base)
+}

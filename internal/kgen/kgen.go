@@ -471,6 +471,30 @@ func canon(op Op) Op {
 	return op
 }
 
+// AluIndex returns the KAlu/KGuard Alu selector for an ALU opcode, or -1
+// when the opcode is outside the generator's pool. It lets callers that
+// assemble IR by hand (internal/families) name operations by opcode instead
+// of hard-coding pool positions that would silently shift if the pool
+// changed.
+func AluIndex(op isa.Opcode) int {
+	for i, a := range aluOps {
+		if a == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// CmpIndex is AluIndex for the KSetp comparison pool.
+func CmpIndex(op isa.CmpOp) int {
+	for i, c := range cmpOps {
+		if c == op {
+			return i
+		}
+	}
+	return -1
+}
+
 // normIdx clamps a selector into [0, n).
 func normIdx(v, n int) int {
 	if v < 0 {

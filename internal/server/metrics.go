@@ -1,9 +1,7 @@
 package server
 
 import (
-	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -16,33 +14,6 @@ import (
 // jobWallBuckets covers simulation wall times, which run far longer than
 // HTTP requests: from sub-10ms cache-adjacent runs to multi-minute sweeps.
 var jobWallBuckets = []float64{.01, .05, .1, .5, 1, 5, 10, 30, 60, 120, 300}
-
-// endpoints are the bounded route labels instrumentation aggregates under;
-// raw paths never become label values, so cardinality stays fixed.
-var endpoints = []string{
-	"/v1/classify",
-	"/v1/classify/batch",
-	"/v1/jobs",
-	"/v1/jobs/{id}",
-	"/v1/workloads",
-	"/healthz",
-	"/metrics",
-	"other",
-}
-
-// endpointLabel maps a request to its route label.
-func endpointLabel(r *http.Request) string {
-	p := r.URL.Path
-	switch {
-	case strings.HasPrefix(p, "/v1/jobs/"):
-		return "/v1/jobs/{id}"
-	case p == "/v1/classify", p == "/v1/classify/batch", p == "/v1/jobs",
-		p == "/v1/workloads", p == "/healthz", p == "/metrics":
-		return p
-	default:
-		return "other"
-	}
-}
 
 // batchSizeBuckets covers batch classify request sizes, from singletons up
 // to the jobs.MaxBatchItems ceiling.
@@ -64,11 +35,17 @@ type metricsSet struct {
 	batchItemErrors *obsv.Counter
 	batchSize       *obsv.Histogram
 
+	ptxAccepted *obsv.Counter
+	ptxRejected *obsv.Counter
+
 	mu       sync.Mutex
 	requests map[string]*obsv.Counter // endpoint + status → counter
 }
 
-func newMetricsSet(mgr *jobs.Manager, ckpts *checkpoint.Store, start time.Time) *metricsSet {
+// newMetricsSet builds the registry. endpoints is the bounded route-label
+// set, derived from the mux registrations (routeTable.labels); raw request
+// paths never become label values, so cardinality stays fixed.
+func newMetricsSet(mgr *jobs.Manager, ckpts *checkpoint.Store, start time.Time, endpoints []string) *metricsSet {
 	reg := obsv.NewRegistry()
 	m := &metricsSet{
 		reg:      reg,
@@ -236,6 +213,12 @@ func newMetricsSet(mgr *jobs.Manager, ckpts *checkpoint.Store, start time.Time) 
 		"Batch classify items that failed (per-item 4xx).", nil)
 	m.batchSize = reg.Histogram("critloadd_http_batch_size",
 		"Items per batch classify request.", nil, batchSizeBuckets)
+	m.ptxAccepted = reg.Counter("critloadd_ptx_submissions_total",
+		"Raw PTX submissions by outcome.",
+		map[string]string{"outcome": "accepted"})
+	m.ptxRejected = reg.Counter("critloadd_ptx_submissions_total",
+		"Raw PTX submissions by outcome.",
+		map[string]string{"outcome": "rejected"})
 
 	// Per-mode job wall-time histograms, fed by the manager's execution
 	// observer.
@@ -246,6 +229,15 @@ func newMetricsSet(mgr *jobs.Manager, ckpts *checkpoint.Store, start time.Time) 
 	}
 	mgr.SetExecutionObserver(m.observeExecution)
 	return m
+}
+
+// observePTX records one /v1/ptx submission outcome.
+func (m *metricsSet) observePTX(accepted bool) {
+	if accepted {
+		m.ptxAccepted.Inc()
+	} else {
+		m.ptxRejected.Inc()
+	}
 }
 
 // observeBatch records one batch classify request's size and per-item

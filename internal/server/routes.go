@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// routeTable derives the bounded endpoint-label set the HTTP metrics
+// aggregate under from the mux registrations themselves, so adding a route
+// through Server.route can never silently bucket it as "other" — the failure
+// mode the old hand-maintained endpoint list had. Raw request paths never
+// become label values; cardinality stays fixed at the registered set.
+type routeTable struct {
+	exact    map[string]string // path → label, for wildcard-free patterns
+	prefixes []prefixRoute     // longest-prefix fallbacks from {wildcard} patterns
+}
+
+type prefixRoute struct {
+	prefix, label string
+}
+
+func newRouteTable() *routeTable {
+	return &routeTable{exact: map[string]string{}}
+}
+
+// add records the endpoint label of one mux pattern ("METHOD /path"). A
+// pattern with a {wildcard} segment labels every request under the prefix
+// before the wildcard (e.g. "GET /v1/jobs/{id}" → every /v1/jobs/... path),
+// matching how ServeMux routes it.
+func (t *routeTable) add(pattern string) {
+	_, path, found := strings.Cut(pattern, " ")
+	if !found {
+		path = pattern
+	}
+	if i := strings.IndexByte(path, '{'); i >= 0 {
+		for _, p := range t.prefixes {
+			if p.label == path {
+				return
+			}
+		}
+		t.prefixes = append(t.prefixes, prefixRoute{prefix: path[:i], label: path})
+		// Longest prefix wins, so nested wildcard routes label correctly.
+		sort.Slice(t.prefixes, func(a, b int) bool {
+			return len(t.prefixes[a].prefix) > len(t.prefixes[b].prefix)
+		})
+		return
+	}
+	t.exact[path] = path
+}
+
+// label maps a request to its route label; unregistered paths share "other".
+func (t *routeTable) label(r *http.Request) string {
+	p := r.URL.Path
+	if l, ok := t.exact[p]; ok {
+		return l
+	}
+	for _, pr := range t.prefixes {
+		if strings.HasPrefix(p, pr.prefix) {
+			return pr.label
+		}
+	}
+	return "other"
+}
+
+// labels returns every label the table can produce, sorted, "other" last —
+// the set the metrics layer pre-registers latency histograms for.
+func (t *routeTable) labels() []string {
+	out := make([]string, 0, len(t.exact)+len(t.prefixes)+1)
+	for _, l := range t.exact {
+		out = append(out, l)
+	}
+	for _, p := range t.prefixes {
+		out = append(out, p.label)
+	}
+	sort.Strings(out)
+	return append(out, "other")
+}

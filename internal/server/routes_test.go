@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"critload/internal/jobs"
+)
+
+// TestRouteTableLabels is the regression test for the old hand-maintained
+// endpoint table, which silently bucketed any newly added route as "other":
+// the label set must now follow the mux registrations, and every registered
+// route — /v1/ptx included — must label as itself.
+func TestRouteTableLabels(t *testing.T) {
+	mgr, err := jobs.NewManager(jobs.Config{Workers: 1, Runner: SimRunner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Close(ctx)
+	}()
+	s := New(mgr)
+
+	wantLabels := map[string]bool{
+		"/v1/classify": true, "/v1/classify/batch": true, "/v1/ptx": true,
+		"/v1/jobs": true, "/v1/jobs/{id}": true, "/v1/workloads": true,
+		"/healthz": true, "/metrics": true, "other": true,
+	}
+	got := s.routes.labels()
+	if len(got) != len(wantLabels) {
+		t.Errorf("labels() = %v, want the %d registered routes plus other", got, len(wantLabels))
+	}
+	for _, l := range got {
+		if !wantLabels[l] {
+			t.Errorf("unexpected label %q", l)
+		}
+		delete(wantLabels, l)
+	}
+	for l := range wantLabels {
+		t.Errorf("missing label %q", l)
+	}
+
+	cases := map[string]string{
+		"/v1/ptx":           "/v1/ptx",
+		"/v1/classify":      "/v1/classify",
+		"/v1/jobs":          "/v1/jobs",
+		"/v1/jobs/abc-123":  "/v1/jobs/{id}",
+		"/v1/jobs/x/y":      "/v1/jobs/{id}",
+		"/v1/workloads":     "/v1/workloads",
+		"/healthz":          "/healthz",
+		"/metrics":          "/metrics",
+		"/v1/unknown":       "other",
+		"/":                 "other",
+		"/v1/classifyextra": "other",
+	}
+	for path, want := range cases {
+		r := httptest.NewRequest("GET", path, nil)
+		if got := s.routes.label(r); got != want {
+			t.Errorf("label(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestRouteTablePrefixOrder pins longest-prefix-wins for nested wildcards.
+func TestRouteTablePrefixOrder(t *testing.T) {
+	rt := newRouteTable()
+	rt.add("GET /v1/jobs/{id}")
+	rt.add("GET /v1/jobs/deep/{id}")
+	r := httptest.NewRequest("GET", "/v1/jobs/deep/7", nil)
+	if got := rt.label(r); got != "/v1/jobs/deep/{id}" {
+		t.Errorf("label = %q, want the longer prefix to win", got)
+	}
+	r = httptest.NewRequest("GET", "/v1/jobs/7", nil)
+	if got := rt.label(r); got != "/v1/jobs/{id}" {
+		t.Errorf("label = %q, want /v1/jobs/{id}", got)
+	}
+	// Duplicate registration (second HTTP method, same path shape) must not
+	// duplicate the label.
+	rt.add("DELETE /v1/jobs/{id}")
+	n := 0
+	for _, l := range rt.labels() {
+		if l == "/v1/jobs/{id}" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("label /v1/jobs/{id} appears %d times, want 1", n)
+	}
+}

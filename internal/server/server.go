@@ -16,6 +16,7 @@ import (
 
 	"critload/internal/checkpoint"
 	"critload/internal/dataflow"
+	"critload/internal/families"
 	"critload/internal/jobs"
 	"critload/internal/obsv"
 	"critload/internal/ptx"
@@ -36,12 +37,17 @@ const retryAfterHint = "1"
 //
 //	POST   /v1/classify        classify a PTX source's global loads (synchronous)
 //	POST   /v1/classify/batch  classify many PTX sources in one request
+//	POST   /v1/ptx           validate + classify a raw .ptx program (422 diagnostics)
 //	POST   /v1/jobs          submit a functional or timing simulation job
 //	GET    /v1/jobs/{id}     poll a job (optionally ?wait_ms=N)
 //	DELETE /v1/jobs/{id}     cancel a job
-//	GET    /v1/workloads     list the built-in Table I workloads
+//	GET    /v1/workloads     list the Table I workloads and parameterized families
 //	GET    /healthz          liveness
 //	GET    /metrics          Prometheus text exposition
+//
+// /v1/classify and /v1/jobs also accept a {"family": {...}} spec in place of
+// PTX source / a workload name: a parameterized kernel family (see
+// internal/families) resolved to its canonical workload name server-side.
 //
 // Every request flows through the observability chain: request-ID
 // injection (echoed on X-Request-ID), in-flight and per-endpoint latency
@@ -50,6 +56,7 @@ const retryAfterHint = "1"
 type Server struct {
 	mgr     *jobs.Manager
 	mux     *http.ServeMux
+	routes  *routeTable
 	handler http.Handler
 	log     *slog.Logger
 	metrics *metricsSet
@@ -79,26 +86,38 @@ func WithCheckpoints(st *checkpoint.Store) Option {
 // New wires the API around a job manager. It installs itself as the
 // manager's execution observer to feed the job wall-time histograms.
 func New(mgr *jobs.Manager, opts ...Option) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux(), log: obsv.NopLogger(), start: time.Now()}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), routes: newRouteTable(),
+		log: obsv.NopLogger(), start: time.Now()}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.metrics = newMetricsSet(mgr, s.ckpts, s.start)
-	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
-	s.mux.HandleFunc("POST /v1/classify/batch", s.handleClassifyBatch)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Routes go through s.route so the metrics endpoint-label set below is
+	// derived from the registrations — a route added here is instrumented
+	// under its own label automatically, never bucketed as "other".
+	s.route("POST /v1/classify", s.handleClassify)
+	s.route("POST /v1/classify/batch", s.handleClassifyBatch)
+	s.route("POST /v1/ptx", s.handlePTX)
+	s.route("POST /v1/jobs", s.handleSubmit)
+	s.route("GET /v1/jobs/{id}", s.handleGet)
+	s.route("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.route("GET /v1/workloads", s.handleWorkloads)
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /metrics", s.handleMetrics)
+	s.metrics = newMetricsSet(mgr, s.ckpts, s.start, s.routes.labels())
 	s.handler = obsv.Chain(s.mux,
 		obsv.RequestID(),
-		obsv.Instrument(endpointLabel, s.metrics.httpInFlight, s.metrics.observeRequest),
+		obsv.Instrument(s.routes.label, s.metrics.httpInFlight, s.metrics.observeRequest),
 		obsv.AccessLog(s.log),
 		obsv.Recover(s.log, s.metrics.httpPanics.Inc),
 	)
 	return s
+}
+
+// route registers a handler on the mux and records its endpoint label for
+// the metrics layer.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.routes.add(pattern)
+	s.mux.HandleFunc(pattern, h)
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -133,10 +152,12 @@ func bodyErrorStatus(err error) int {
 // ---------------------------------------------------------------------------
 // POST /v1/classify
 
-// classifyRequest carries a PTX-subset source. Clients may also send the
-// raw source directly with a text/* content type.
+// classifyRequest carries a PTX-subset source or a family spec (exactly one
+// of the two). Clients may also send the raw source directly with a text/*
+// content type.
 type classifyRequest struct {
-	PTX string `json:"ptx"`
+	PTX    string         `json:"ptx,omitempty"`
+	Family *families.Spec `json:"family,omitempty"`
 }
 
 // RootJSON is one primitive contributor to a load address.
@@ -185,6 +206,38 @@ func isJSONBody(ct string, body []byte) bool {
 	return len(trimmed) > 0 && trimmed[0] == '{'
 }
 
+// classifyKernel runs the classifier over one parsed kernel.
+func classifyKernel(k *ptx.Kernel) KernelJSON {
+	res := dataflow.Classify(k)
+	det, nondet := res.Counts()
+	kj := KernelJSON{
+		Name: k.Name, Deterministic: det, NonDeterministic: nondet,
+		Loads: []LoadJSON{},
+	}
+	for _, l := range res.Loads {
+		lj := LoadJSON{
+			PC:    fmt.Sprintf("0x%03x", l.PC),
+			Inst:  k.Insts[l.InstIndex].String(),
+			Class: l.Class.String(),
+			Roots: []RootJSON{},
+		}
+		for _, root := range l.Roots {
+			lj.Roots = append(lj.Roots, RootJSON{Kind: root.Kind.String(), Name: root.Name})
+		}
+		kj.Loads = append(kj.Loads, lj)
+	}
+	return kj
+}
+
+// classifyProgram classifies every kernel of a parsed program.
+func classifyProgram(prog *ptx.Program) *ClassifyResponse {
+	resp := &ClassifyResponse{Kernels: []KernelJSON{}}
+	for _, k := range prog.Kernels {
+		resp.Kernels = append(resp.Kernels, classifyKernel(k))
+	}
+	return resp
+}
+
 // classifySource runs the parse-and-classify pipeline on one source,
 // reporting failures as the HTTP status the caller should relay: 400 for an
 // empty source, 422 for source the parser rejects. It is the shared core of
@@ -197,29 +250,17 @@ func classifySource(src string) (*ClassifyResponse, int, error) {
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, fmt.Errorf("parsing PTX: %w", err)
 	}
-	resp := &ClassifyResponse{Kernels: []KernelJSON{}}
-	for _, k := range prog.Kernels {
-		res := dataflow.Classify(k)
-		det, nondet := res.Counts()
-		kj := KernelJSON{
-			Name: k.Name, Deterministic: det, NonDeterministic: nondet,
-			Loads: []LoadJSON{},
-		}
-		for _, l := range res.Loads {
-			lj := LoadJSON{
-				PC:    fmt.Sprintf("0x%03x", l.PC),
-				Inst:  k.Insts[l.InstIndex].String(),
-				Class: l.Class.String(),
-				Roots: []RootJSON{},
-			}
-			for _, root := range l.Roots {
-				lj.Roots = append(lj.Roots, RootJSON{Kind: root.Kind.String(), Name: root.Name})
-			}
-			kj.Loads = append(kj.Loads, lj)
-		}
-		resp.Kernels = append(resp.Kernels, kj)
+	return classifyProgram(prog), http.StatusOK, nil
+}
+
+// classifyFamily lowers a family spec to its labeled kernel and classifies
+// it. Spec problems (unknown family, out-of-range knob) are client errors.
+func classifyFamily(spec *families.Spec) (*ClassifyResponse, int, error) {
+	c, err := spec.Build()
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
-	return resp, http.StatusOK, nil
+	return classifyProgram(&ptx.Program{Kernels: []*ptx.Kernel{c.Kernel}}), http.StatusOK, nil
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -233,6 +274,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		var req classifyRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		if req.Family != nil {
+			if strings.TrimSpace(req.PTX) != "" {
+				writeError(w, http.StatusBadRequest, "ptx and family are mutually exclusive")
+				return
+			}
+			resp, status, err := classifyFamily(req.Family)
+			if err != nil {
+				writeError(w, status, "%v", err)
+				return
+			}
+			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		src = req.PTX
@@ -321,15 +375,20 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 // POST /v1/jobs, GET/DELETE /v1/jobs/{id}
 
 // jobRequest is the submission payload; it mirrors jobs.Spec with a
-// millisecond timeout for JSON ergonomics.
+// millisecond timeout for JSON ergonomics. Exactly one of Workload and
+// Family selects what to run: a family spec is resolved to its canonical
+// workload name ("family:<name>?<knobs>") server-side, so caching,
+// deduplication, checkpoint prefixes and the durable journal all see family
+// jobs through the same string identity as Table I jobs.
 type jobRequest struct {
-	Workload      string `json:"workload"`
-	Mode          string `json:"mode"`
-	Size          int    `json:"size"`
-	Seed          int64  `json:"seed"`
-	MaxWarpInsts  uint64 `json:"max_warp_insts"`
-	MaxCycles     int64  `json:"max_cycles"`
-	TimeoutMillis int64  `json:"timeout_ms"`
+	Workload      string         `json:"workload,omitempty"`
+	Family        *families.Spec `json:"family,omitempty"`
+	Mode          string         `json:"mode"`
+	Size          int            `json:"size"`
+	Seed          int64          `json:"seed"`
+	MaxWarpInsts  uint64         `json:"max_warp_insts"`
+	MaxCycles     int64          `json:"max_cycles"`
+	TimeoutMillis int64          `json:"timeout_ms"`
 	// ReuseCheckpoints opts a timing job into the daemon's checkpoint store
 	// (ignored when critloadd runs without one). Results are byte-identical
 	// either way; only wall time changes.
@@ -343,6 +402,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, bodyErrorStatus(err), "decoding request: %v", err)
 		return
+	}
+	if req.Family != nil {
+		if req.Workload != "" {
+			writeError(w, http.StatusBadRequest, "workload and family are mutually exclusive")
+			return
+		}
+		canonical, err := req.Family.CanonicalName()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		req.Workload = canonical
 	}
 	if _, ok := workloads.Get(req.Workload); !ok {
 		writeError(w, http.StatusBadRequest, "unknown workload %q", req.Workload)
@@ -424,15 +495,42 @@ type workloadJSON struct {
 	DataSet     string `json:"data_set"`
 }
 
+// familyJSON is one parameterized family listing: knob schemas with ranges
+// and defaults, plus the canonical all-defaults instance name as a template.
+type familyJSON struct {
+	Name        string          `json:"name"`
+	Description string          `json:"description"`
+	Knobs       []families.Knob `json:"knobs"`
+	Example     string          `json:"example"`
+}
+
+// workloadsResponse is the /v1/workloads catalog: the fixed Table I
+// benchmarks plus the parameterized families.
+type workloadsResponse struct {
+	Workloads []workloadJSON `json:"workloads"`
+	Families  []familyJSON   `json:"families"`
+}
+
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
-	out := []workloadJSON{}
+	resp := workloadsResponse{Workloads: []workloadJSON{}, Families: []familyJSON{}}
 	for _, wl := range workloads.All() {
-		out = append(out, workloadJSON{
+		resp.Workloads = append(resp.Workloads, workloadJSON{
 			Name: wl.Name, Category: wl.Category.String(),
 			Description: wl.Description, DataSet: wl.DataSet,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	for _, f := range families.List() {
+		example, err := (&families.Spec{Name: f.Name}).CanonicalName()
+		if err != nil {
+			// Defaults are validated by the family's own tests; a failure
+			// here is a registration bug, not a client error.
+			continue
+		}
+		resp.Families = append(resp.Families, familyJSON{
+			Name: f.Name, Description: f.Description, Knobs: f.Knobs, Example: example,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // healthJSON is the /healthz body. Recovery is present only on daemons

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"critload/internal/families"
 	"critload/internal/jobs"
 	"critload/internal/server"
 )
@@ -105,12 +106,30 @@ func TestMetrics(t *testing.T) {
 
 func TestWorkloadsListing(t *testing.T) {
 	ts, _ := newService(t, server.SimRunner(), 1)
-	var list []map[string]string
-	if code := getJSON(t, ts.URL+"/v1/workloads", &list); code != http.StatusOK {
+	var catalog struct {
+		Workloads []map[string]string `json:"workloads"`
+		Families  []struct {
+			Name    string           `json:"name"`
+			Knobs   []map[string]any `json:"knobs"`
+			Example string           `json:"example"`
+		} `json:"families"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/workloads", &catalog); code != http.StatusOK {
 		t.Fatalf("workloads = %d, want 200", code)
 	}
-	if len(list) != 15 {
-		t.Fatalf("listed %d workloads, want the paper's 15", len(list))
+	if len(catalog.Workloads) != 15 {
+		t.Fatalf("listed %d workloads, want the paper's 15", len(catalog.Workloads))
+	}
+	if len(catalog.Families) != len(families.Names()) {
+		t.Fatalf("listed %d families, want %d", len(catalog.Families), len(families.Names()))
+	}
+	for _, f := range catalog.Families {
+		if len(f.Knobs) == 0 {
+			t.Errorf("family %s listed without knob schema", f.Name)
+		}
+		if !strings.HasPrefix(f.Example, "family:"+f.Name+"?") {
+			t.Errorf("family %s example %q is not a canonical instance name", f.Name, f.Example)
+		}
 	}
 }
 

@@ -19,11 +19,14 @@ import (
 // Category groups workloads as in Table I.
 type Category int
 
-// Workload categories.
+// Workload categories. Synthetic covers resolver-backed parameterized
+// kernels (internal/families) that are generated on demand rather than
+// registered as fixed Table I benchmarks.
 const (
 	Linear Category = iota
 	Image
 	Graph
+	Synthetic
 )
 
 func (c Category) String() string {
@@ -34,6 +37,8 @@ func (c Category) String() string {
 		return "image"
 	case Graph:
 		return "graph"
+	case Synthetic:
+		return "synthetic"
 	}
 	return "?"
 }
@@ -81,6 +86,20 @@ type Workload struct {
 
 var registry = map[string]*Workload{}
 
+// resolvers are fallback name resolvers consulted — in registration order —
+// when a name is not in the static registry. The families package registers
+// one at init time to make parameterized family specs (names of the form
+// "family:<name>?<knobs>") first-class workloads everywhere a Table I name
+// is accepted: experiments, job specs, checkpoint keys, all three engines.
+// Registration must happen during package initialization; Get reads the
+// slice without locking afterwards.
+var resolvers []func(name string) (*Workload, bool)
+
+// RegisterResolver installs a fallback resolver. Init-time only.
+func RegisterResolver(fn func(name string) (*Workload, bool)) {
+	resolvers = append(resolvers, fn)
+}
+
 func register(w *Workload) {
 	if _, dup := registry[w.Name]; dup {
 		panic(fmt.Sprintf("workloads: duplicate %q", w.Name))
@@ -88,15 +107,24 @@ func register(w *Workload) {
 	registry[w.Name] = w
 }
 
-// Get returns a workload by name.
+// Get returns a workload by name: a Table I benchmark from the static
+// registry, or — for names no benchmark claims — whatever a registered
+// resolver synthesizes (parameterized families).
 func Get(name string) (*Workload, bool) {
-	w, ok := registry[name]
-	return w, ok
+	if w, ok := registry[name]; ok {
+		return w, true
+	}
+	for _, fn := range resolvers {
+		if w, ok := fn(name); ok {
+			return w, true
+		}
+	}
+	return nil, false
 }
 
 // MustGet returns a workload or panics.
 func MustGet(name string) *Workload {
-	w, ok := registry[name]
+	w, ok := Get(name)
 	if !ok {
 		panic(fmt.Sprintf("workloads: unknown workload %q", name))
 	}

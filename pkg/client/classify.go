@@ -48,6 +48,21 @@ func (c *Client) Classify(ctx context.Context, ptxSource string) (*ClassifyResul
 	return &out, nil
 }
 
+// ClassifyFamily classifies a parameterized family instance: the daemon
+// lowers the spec to its kernel and classifies every global load. Spec
+// problems (unknown family, out-of-range knob) surface as 400 APIErrors.
+func (c *Client) ClassifyFamily(ctx context.Context, spec FamilySpec) (*ClassifyResult, error) {
+	var out ClassifyResult
+	err := c.do(ctx, "classify_family", http.MethodPost, "/v1/classify", nil,
+		struct {
+			Family FamilySpec `json:"family"`
+		}{spec}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // BatchItem is one kernel source in a batch classify request. ID is an
 // optional correlation handle; results come back in request order either
 // way. Non-empty IDs must be unique within the batch.

@@ -167,6 +167,9 @@ type APIError struct {
 	Message string
 	// RetryAfter is the server's Retry-After push-back, when present.
 	RetryAfter time.Duration
+	// Diagnostics carries per-line validation failures on 422 responses
+	// from /v1/ptx; empty otherwise.
+	Diagnostics []Diagnostic
 }
 
 func (e *APIError) Error() string {
@@ -276,6 +279,12 @@ func (c *Client) attempt(ctx context.Context, method string, u *url.URL, payload
 		Status:     resp.StatusCode,
 		Message:    errorMessage(raw, resp.StatusCode),
 		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	}
+	var diag struct {
+		Diagnostics []Diagnostic `json:"diagnostics"`
+	}
+	if json.Unmarshal(raw, &diag) == nil {
+		apiErr.Diagnostics = diag.Diagnostics
 	}
 	c.breaker.record(!apiErr.IsRetryable())
 	return apiErr

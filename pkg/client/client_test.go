@@ -366,12 +366,69 @@ func TestJobLifecycle(t *testing.T) {
 		t.Fatalf("cancel finished job = %+v / %v, want done no-op", cancelled, err)
 	}
 
-	wls, err := c.Workloads(ctx)
-	if err != nil || len(wls) != 15 {
-		t.Fatalf("Workloads = %d / %v, want the paper's 15", len(wls), err)
+	catalog, err := c.Workloads(ctx)
+	if err != nil || len(catalog.Workloads) != 15 {
+		t.Fatalf("Workloads = %+v / %v, want the paper's 15", catalog, err)
+	}
+	if len(catalog.Families) == 0 {
+		t.Fatal("catalog lists no families")
+	}
+	for _, f := range catalog.Families {
+		if len(f.Knobs) == 0 || f.Example == "" {
+			t.Fatalf("family %s listed without knob schema or example", f.Name)
+		}
 	}
 	if err := c.Health(ctx); err != nil {
 		t.Fatalf("Health: %v", err)
+	}
+}
+
+// TestFamilyAndPTXSurface drives the family-spec and raw-PTX paths against
+// the real daemon: classify, run a family job, submit valid and malformed
+// PTX, and check the 422 diagnostics survive the trip into APIError.
+func TestFamilyAndPTXSurface(t *testing.T) {
+	ts := newDaemon(t)
+	c := newClient(t, ts.URL, client.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	spec := client.FamilySpec{Name: "stream", Knobs: map[string]int{
+		"loads": 3, "size": 128, "ctas": 2, "block": 32,
+	}}
+	res, err := c.ClassifyFamily(ctx, spec)
+	if err != nil || len(res.Kernels) != 1 {
+		t.Fatalf("ClassifyFamily = %+v / %v", res, err)
+	}
+	if k := res.Kernels[0]; k.Deterministic != 3 || k.NonDeterministic != 0 {
+		t.Fatalf("stream loads=3 classified %d/%d, want 3 D / 0 N",
+			k.Deterministic, k.NonDeterministic)
+	}
+
+	_, err = c.ClassifyFamily(ctx, client.FamilySpec{Name: "no-such-family"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("unknown family err = %v, want APIError 400", err)
+	}
+
+	job, err := c.RunJob(ctx, client.JobSpec{Family: &spec, Mode: "functional"})
+	if err != nil || job.State != client.StateDone {
+		t.Fatalf("family RunJob = %+v / %v, want done", job, err)
+	}
+
+	ptxRes, err := c.SubmitPTX(ctx, kernelSrc)
+	if err != nil || len(ptxRes.Kernels) != 1 || len(ptxRes.SHA256) != 64 {
+		t.Fatalf("SubmitPTX = %+v / %v", ptxRes, err)
+	}
+	if k := ptxRes.Kernels[0]; k.Name != "lin" || k.Deterministic != 1 {
+		t.Fatalf("PTX kernel = %+v, want lin with 1 D load", k)
+	}
+
+	_, err = c.SubmitPTX(ctx, ".kernel bad\n    mov.u32 %r0, %r1, %r2;\n")
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("malformed PTX err = %v, want APIError 422", err)
+	}
+	if len(apiErr.Diagnostics) == 0 || apiErr.Diagnostics[0].Line != 2 {
+		t.Fatalf("diagnostics = %+v, want line-2 failure", apiErr.Diagnostics)
 	}
 }
 

@@ -11,14 +11,17 @@ import (
 )
 
 // JobSpec describes one simulation job; it mirrors the POST /v1/jobs
-// request body.
+// request body. Exactly one of Workload and Family selects what to run: a
+// Table I benchmark by name, or a parameterized family instance that the
+// daemon resolves to its canonical "family:<name>?<knobs>" workload name.
 type JobSpec struct {
-	Workload     string `json:"workload"`
-	Mode         string `json:"mode"` // "functional" or "timing"
-	Size         int    `json:"size,omitempty"`
-	Seed         int64  `json:"seed,omitempty"`
-	MaxWarpInsts uint64 `json:"max_warp_insts,omitempty"`
-	MaxCycles    int64  `json:"max_cycles,omitempty"`
+	Workload     string      `json:"workload,omitempty"`
+	Family       *FamilySpec `json:"family,omitempty"`
+	Mode         string      `json:"mode"` // "functional" or "timing"
+	Size         int         `json:"size,omitempty"`
+	Seed         int64       `json:"seed,omitempty"`
+	MaxWarpInsts uint64      `json:"max_warp_insts,omitempty"`
+	MaxCycles    int64       `json:"max_cycles,omitempty"`
 	// TimeoutMillis bounds the job's wall time server-side (0 = none).
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 	// ReuseCheckpoints opts a timing job into the daemon's checkpoint store
@@ -165,13 +168,49 @@ type Workload struct {
 	DataSet     string `json:"data_set"`
 }
 
-// Workloads lists the daemon's built-in Table I benchmarks.
-func (c *Client) Workloads(ctx context.Context) ([]Workload, error) {
-	var out []Workload
+// FamilySpec selects one parameterized family instance for classify or job
+// requests: a family name plus knob overrides; omitted knobs take their
+// schema defaults (see Catalog.Families for schemas and ranges).
+type FamilySpec struct {
+	Name  string         `json:"name"`
+	Knobs map[string]int `json:"knobs,omitempty"`
+}
+
+// Knob is one typed family parameter: integer-valued, bounded, optionally
+// constrained to powers of two.
+type Knob struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Min         int    `json:"min"`
+	Max         int    `json:"max"`
+	Default     int    `json:"default"`
+	Pow2        bool   `json:"pow2,omitempty"`
+}
+
+// Family is one parameterized workload family listing: its knob schema and
+// the canonical all-defaults instance name as a template.
+type Family struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Knobs       []Knob `json:"knobs"`
+	Example     string `json:"example"`
+}
+
+// Catalog is the daemon's workload catalog: the fixed Table I benchmarks
+// plus the parameterized families.
+type Catalog struct {
+	Workloads []Workload `json:"workloads"`
+	Families  []Family   `json:"families"`
+}
+
+// Workloads fetches the daemon's workload catalog — Table I benchmarks and
+// parameterized families with their knob schemas.
+func (c *Client) Workloads(ctx context.Context) (*Catalog, error) {
+	var out Catalog
 	if err := c.do(ctx, "workloads", http.MethodGet, "/v1/workloads", nil, nil, &out); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return &out, nil
 }
 
 // Health checks daemon liveness.
